@@ -1,0 +1,272 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 7). Each benchmark measures one maintenance round
+// and reports, besides wall time, the paper's cost metric as the custom
+// metric "accesses/op" and — where both approaches run — the ID-over-tuple
+// "speedup" metric.
+//
+// Figure 10  → BenchmarkFig10/<query>/<mode>
+// Figure 12a → BenchmarkFig12a_DiffSize/d=…/<approach>
+// Figure 12b → BenchmarkFig12b_Joins/j=…/<approach>
+// Figure 12c → BenchmarkFig12c_Selectivity/s=…/<approach>
+// Figure 12d → BenchmarkFig12d_Fanout/f=…/<approach>
+// Table 2 / eq. (1) → BenchmarkTable2_SPJModel
+// Table 3 / eq. (2) → BenchmarkTable3_AggModel
+//
+// Absolute numbers are not comparable to the paper's PostgreSQL-on-AWS
+// setup; the shapes (who wins, how the speedup moves with each parameter)
+// are — see EXPERIMENTS.md.
+package idivm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"idivm/internal/bsma"
+	"idivm/internal/harness"
+	"idivm/internal/ivm"
+	"idivm/internal/sdbt"
+	"idivm/internal/workload"
+)
+
+// benchScale keeps one full -bench=. run in the minutes range.
+func benchWorkloadParams() workload.Params {
+	p := workload.Defaults(4000)
+	p.Devices = 4000
+	p.Fanout = 10
+	p.Selectivity = 20
+	p.DiffSize = 200
+	return p
+}
+
+func benchBSMAParams() bsma.Params {
+	p := bsma.Defaults(400)
+	p.FriendsPerUser = 6
+	p.TweetsPerUser = 6
+	p.UpdateCount = 100
+	return p
+}
+
+// benchIVM measures maintenance rounds of the running-example aggregate
+// (or SPJ) view in the given mode.
+func benchIVM(b *testing.B, p workload.Params, agg bool, mode ivm.Mode) {
+	b.Helper()
+	ds := workload.Build(p)
+	sys := ivm.NewSystem(ds.DB)
+	plan := ds.SPJPlan()
+	if agg {
+		plan = ds.AggPlan()
+	}
+	if _, err := sys.RegisterView("V", plan, mode); err != nil {
+		b.Fatal(err)
+	}
+	var accesses int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := ds.ApplyPriceUpdates(); err != nil {
+			b.Fatal(err)
+		}
+		ds.DB.Counter().Reset()
+		b.StartTimer()
+		reports, err := sys.MaintainAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses += reports[0].Phases.Total().Total()
+	}
+	b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
+}
+
+func benchSDBT(b *testing.B, p workload.Params, variant sdbt.Variant) {
+	b.Helper()
+	ds := workload.Build(p)
+	e, err := sdbt.New(ds, variant)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var accesses int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := ds.ApplyPriceUpdates(); err != nil {
+			b.Fatal(err)
+		}
+		ds.DB.Counter().Reset()
+		b.StartTimer()
+		if err := e.Maintain(); err != nil {
+			b.Fatal(err)
+		}
+		accesses += ds.DB.Counter().Total()
+		b.StopTimer()
+		ds.DB.ResetLog()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
+}
+
+// approachSet runs the four Figure 12 columns as sub-benchmarks.
+func approachSet(b *testing.B, p workload.Params, withSDBT bool) {
+	b.Run("A=idIVM", func(b *testing.B) { benchIVM(b, p, true, ivm.ModeID) })
+	b.Run("B=tuple", func(b *testing.B) { benchIVM(b, p, true, ivm.ModeTuple) })
+	if withSDBT {
+		b.Run("C=sdbt-fixed", func(b *testing.B) { benchSDBT(b, p, sdbt.Fixed) })
+		b.Run("D=sdbt-streams", func(b *testing.B) { benchSDBT(b, p, sdbt.Streams) })
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10: the eight BSMA views maintained
+// under the 100-user-update workload, in both modes.
+func BenchmarkFig10(b *testing.B) {
+	p := benchBSMAParams()
+	for _, q := range bsma.QueryNames() {
+		for _, mode := range []ivm.Mode{ivm.ModeID, ivm.ModeTuple} {
+			b.Run(fmt.Sprintf("%s/%s", q, mode), func(b *testing.B) {
+				ds := bsma.Build(p)
+				sys := ivm.NewSystem(ds.DB)
+				plan, err := ds.Plan(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sys.RegisterView(q, plan, mode); err != nil {
+					b.Fatal(err)
+				}
+				var accesses int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					if err := ds.ApplyUserUpdates(); err != nil {
+						b.Fatal(err)
+					}
+					ds.DB.Counter().Reset()
+					b.StartTimer()
+					reports, err := sys.MaintainAll()
+					if err != nil {
+						b.Fatal(err)
+					}
+					accesses += reports[0].Phases.Total().Total()
+				}
+				b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFig12a_DiffSize regenerates Figure 12a: varying the diff size d.
+func BenchmarkFig12a_DiffSize(b *testing.B) {
+	for _, d := range []int{100, 200, 300, 400, 500} {
+		p := benchWorkloadParams()
+		p.DiffSize = d
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) { approachSet(b, p, true) })
+	}
+}
+
+// BenchmarkFig12b_Joins regenerates Figure 12b: varying the join count j
+// (selection disabled, per Section 7.2).
+func BenchmarkFig12b_Joins(b *testing.B) {
+	for _, j := range []int{2, 3, 4, 5, 6} {
+		p := benchWorkloadParams()
+		p.Joins = j
+		p.NoSelection = true
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) { approachSet(b, p, false) })
+	}
+}
+
+// BenchmarkFig12c_Selectivity regenerates Figure 12c: varying the
+// selectivity s of σ category="phone".
+func BenchmarkFig12c_Selectivity(b *testing.B) {
+	for _, s := range []int{6, 12, 25, 50, 100} {
+		p := benchWorkloadParams()
+		p.Selectivity = s
+		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) { approachSet(b, p, true) })
+	}
+}
+
+// BenchmarkFig12d_Fanout regenerates Figure 12d: varying the
+// parts-per-device fanout f.
+func BenchmarkFig12d_Fanout(b *testing.B) {
+	for _, f := range []int{5, 10, 15, 20, 25} {
+		p := benchWorkloadParams()
+		p.Fanout = f
+		b.Run(fmt.Sprintf("f=%d", f), func(b *testing.B) { approachSet(b, p, true) })
+	}
+}
+
+// BenchmarkTable2_SPJModel measures the SPJ view's ID/tuple costs and
+// reports the measured speedup next to equation (1)'s prediction.
+func BenchmarkTable2_SPJModel(b *testing.B) {
+	p := benchWorkloadParams()
+	for i := 0; i < b.N; i++ {
+		v, err := harness.RunCostModelValidation(p, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(v.MeasuredSpeedup, "speedup")
+		b.ReportMetric(v.PredictedSpeedup, "predicted")
+	}
+}
+
+// BenchmarkTable3_AggModel does the same for the aggregate view and
+// equation (2).
+func BenchmarkTable3_AggModel(b *testing.B) {
+	p := benchWorkloadParams()
+	for i := 0; i < b.N; i++ {
+		v, err := harness.RunCostModelValidation(p, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(v.MeasuredSpeedup, "speedup")
+		b.ReportMetric(v.PredictedSpeedup, "predicted")
+	}
+}
+
+// BenchmarkSPJNonConditionalUpdate isolates the paper's headline case
+// (Example 1.2): non-conditional updates through an SPJ view.
+func BenchmarkSPJNonConditionalUpdate(b *testing.B) {
+	p := benchWorkloadParams()
+	b.Run("id", func(b *testing.B) { benchIVM(b, p, false, ivm.ModeID) })
+	b.Run("tuple", func(b *testing.B) { benchIVM(b, p, false, ivm.ModeTuple) })
+}
+
+// benchIVMOpts is benchIVM with generation options, for ablations.
+func benchIVMOpts(b *testing.B, p workload.Params, opts ivm.GenOptions) {
+	b.Helper()
+	ds := workload.Build(p)
+	sys := ivm.NewSystem(ds.DB)
+	if _, err := sys.RegisterView("V", ds.AggPlan(), ivm.ModeID, opts); err != nil {
+		b.Fatal(err)
+	}
+	var accesses int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := ds.ApplyPriceUpdates(); err != nil {
+			b.Fatal(err)
+		}
+		ds.DB.Counter().Reset()
+		b.StartTimer()
+		reports, err := sys.MaintainAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses += reports[0].Phases.Total().Total()
+	}
+	b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
+}
+
+// BenchmarkAblation_Cache quantifies the intermediate cache's value
+// (Section 6.2: "without cache both approaches would perform
+// identically") by running the ID-based aggregate view with and without
+// caches.
+func BenchmarkAblation_Cache(b *testing.B) {
+	p := benchWorkloadParams()
+	b.Run("with-cache", func(b *testing.B) { benchIVMOpts(b, p, ivm.GenOptions{}) })
+	b.Run("no-cache", func(b *testing.B) { benchIVMOpts(b, p, ivm.GenOptions{NoCache: true}) })
+}
+
+// BenchmarkAblation_Minimization quantifies pass 4 (semantic
+// minimization + join linearization).
+func BenchmarkAblation_Minimization(b *testing.B) {
+	p := benchWorkloadParams()
+	b.Run("minimized", func(b *testing.B) { benchIVMOpts(b, p, ivm.GenOptions{}) })
+	b.Run("raw", func(b *testing.B) { benchIVMOpts(b, p, ivm.GenOptions{NoMinimize: true}) })
+}

@@ -1,0 +1,54 @@
+package idivm_test
+
+import (
+	"fmt"
+
+	"idivm"
+)
+
+// Example reproduces the paper's running example (Figures 1 and 2): the
+// parts-explosion view over the devices catalog, maintained incrementally
+// after a price change.
+func Example() {
+	d := idivm.Open()
+	d.MustCreateTable("parts", idivm.Columns("pid", "price"), "pid")
+	d.MustCreateTable("devices", idivm.Columns("did", "category"), "did")
+	d.MustCreateTable("devices_parts", idivm.Columns("did", "pid"), "did", "pid")
+
+	d.MustInsert("parts", "P1", 10)
+	d.MustInsert("parts", "P2", 20)
+	d.MustInsert("devices", "D1", "phone")
+	d.MustInsert("devices", "D2", "phone")
+	d.MustInsert("devices", "D3", "tablet")
+	d.MustInsert("devices_parts", "D1", "P1")
+	d.MustInsert("devices_parts", "D2", "P1")
+	d.MustInsert("devices_parts", "D1", "P2")
+
+	d.MustCreateView(`
+		CREATE VIEW v AS
+		SELECT did, pid, price
+		FROM parts NATURAL JOIN devices_parts NATURAL JOIN devices
+		WHERE category = 'phone'`)
+
+	// The paper's change: part P1's price goes from 10 to 11. One logged
+	// update becomes one i-diff tuple that fixes both affected view rows.
+	if _, err := d.Update("parts", []any{"P1"}, map[string]any{"price": 11}); err != nil {
+		panic(err)
+	}
+	stats, err := d.Maintain()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("diff tuples: %d, view rows touched: %d\n",
+		stats[0].DiffTuples, stats[0].RowsTouched)
+
+	rows, _ := d.View("v")
+	for _, r := range rows.Data {
+		fmt.Printf("%v %v %v\n", r[0], r[1], r[2])
+	}
+	// Output:
+	// diff tuples: 1, view rows touched: 2
+	// D1 P1 11
+	// D1 P2 20
+	// D2 P1 11
+}

@@ -1,0 +1,63 @@
+// Quickstart: define tables, materialize a view, modify data, and let
+// idIVM bring the view up to date incrementally.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idivm"
+)
+
+func main() {
+	d := idivm.Open()
+
+	// Base tables need primary keys — idIVM's ID-based diffs exploit them.
+	d.MustCreateTable("products", idivm.Columns("sku", "name", "price"), "sku")
+	d.MustCreateTable("orders", idivm.Columns("oid", "sku", "qty"), "oid")
+
+	d.MustInsert("products", "A-1", "anvil", 95)
+	d.MustInsert("products", "B-2", "binoculars", 60)
+	d.MustInsert("orders", 1, "A-1", 2)
+	d.MustInsert("orders", 2, "A-1", 1)
+	d.MustInsert("orders", 3, "B-2", 4)
+
+	// A materialized join view: order lines with current prices.
+	d.MustCreateView(`
+		CREATE VIEW order_lines AS
+		SELECT oid, sku, name, price, qty, price * qty AS total
+		FROM orders NATURAL JOIN products`)
+
+	show := func(header string) {
+		rows, err := d.View("order_lines")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(header)
+		for _, r := range rows.Data {
+			fmt.Printf("  order %v: %v ×%v @ %v = %v\n", r[0], r[2], r[4], r[3], r[5])
+		}
+	}
+	show("initial view:")
+
+	// A price change: one base-table update.
+	if _, err := d.Update("products", []any{"A-1"}, map[string]any{"price": 99}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Maintain incrementally. The single-tuple i-diff identifies every
+	// affected view row through the product's key — no join re-evaluation.
+	stats, err := d.Maintain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmaintenance: %d diff tuple(s), %d accesses, %d view rows touched\n\n",
+		stats[0].DiffTuples, stats[0].Accesses, stats[0].RowsTouched)
+
+	show("after maintenance:")
+
+	if err := d.CheckConsistent("order_lines"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nview matches full recomputation ✓")
+}

@@ -1,0 +1,3 @@
+module idivm
+
+go 1.22

@@ -1,0 +1,139 @@
+package algebra
+
+import (
+	"idivm/internal/expr"
+	"idivm/internal/rel"
+)
+
+// aggState incrementally folds one aggregate over a group.
+type aggState struct {
+	fn    AggFn
+	count int64
+	sum   rel.Value
+	best  rel.Value // min/max
+}
+
+func newAggState(fn AggFn) *aggState { return &aggState{fn: fn, sum: rel.Null(), best: rel.Null()} }
+
+func (a *aggState) add(v rel.Value, isStar bool) {
+	if isStar {
+		a.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	a.count++
+	switch a.fn {
+	case AggSum, AggAvg:
+		if a.sum.IsNull() {
+			a.sum = v
+		} else {
+			a.sum = rel.Add(a.sum, v)
+		}
+	case AggMin:
+		if a.best.IsNull() {
+			a.best = v
+		} else if c, ok := v.Compare(a.best); ok && c < 0 {
+			a.best = v
+		}
+	case AggMax:
+		if a.best.IsNull() {
+			a.best = v
+		} else if c, ok := v.Compare(a.best); ok && c > 0 {
+			a.best = v
+		}
+	}
+}
+
+func (a *aggState) result() rel.Value {
+	switch a.fn {
+	case AggSum:
+		return a.sum
+	case AggCount:
+		return rel.Int(a.count)
+	case AggAvg:
+		if a.count == 0 || a.sum.IsNull() {
+			return rel.Null()
+		}
+		return rel.Float(a.sum.AsFloat() / float64(a.count))
+	case AggMin, AggMax:
+		return a.best
+	}
+	return rel.Null()
+}
+
+func evalGroupBy(g *GroupBy, env Env) (*rel.Relation, error) {
+	child, err := Eval(g.Child, env)
+	if err != nil {
+		return nil, err
+	}
+	return AggregateRelation(child, g.Keys, g.Aggs)
+}
+
+// AggregateRelation hash-aggregates an in-memory relation; it is exposed
+// for the IVM rule engine, which aggregates diff relations directly.
+// Output tuple order follows first appearance of each group, making
+// results deterministic.
+func AggregateRelation(child *rel.Relation, keys []string, aggs []Agg) (*rel.Relation, error) {
+	keyIdx, err := child.Schema.Indices(keys)
+	if err != nil {
+		return nil, err
+	}
+	compiled := make([]*expr.Compiled, len(aggs))
+	for i, a := range aggs {
+		if a.Arg == nil {
+			continue
+		}
+		c, err := expr.Compile(a.Arg, child.Schema)
+		if err != nil {
+			return nil, err
+		}
+		compiled[i] = c
+	}
+
+	type group struct {
+		keyVals rel.Tuple
+		states  []*aggState
+	}
+	byKey := make(map[string]*group)
+	var order []*group
+	for _, t := range child.Tuples {
+		k := rel.KeyOf(t, keyIdx)
+		grp, ok := byKey[k]
+		if !ok {
+			kv := make(rel.Tuple, len(keyIdx))
+			for i, j := range keyIdx {
+				kv[i] = t[j]
+			}
+			states := make([]*aggState, len(aggs))
+			for i, a := range aggs {
+				states[i] = newAggState(a.Fn)
+			}
+			grp = &group{keyVals: kv, states: states}
+			byKey[k] = grp
+			order = append(order, grp)
+		}
+		for i, a := range aggs {
+			if a.Arg == nil {
+				grp.states[i].add(rel.Null(), true)
+			} else {
+				grp.states[i].add(compiled[i].Eval(t), false)
+			}
+		}
+	}
+
+	attrs := append([]string(nil), keys...)
+	for _, a := range aggs {
+		attrs = append(attrs, a.As)
+	}
+	out := rel.NewRelation(rel.NewSchema(attrs, keys))
+	for _, grp := range order {
+		nt := append(rel.Tuple{}, grp.keyVals...)
+		for _, st := range grp.states {
+			nt = append(nt, st.result())
+		}
+		out.Add(nt)
+	}
+	return out, nil
+}

@@ -1,0 +1,628 @@
+package algebra
+
+import (
+	"fmt"
+
+	"idivm/internal/expr"
+	"idivm/internal/rel"
+)
+
+// Env resolves the leaves of a plan during evaluation: stored tables
+// (base tables, materialized views, caches) and named in-memory relations
+// (diff instances and other intermediate bindings).
+type Env interface {
+	// Table resolves a stored table by name.
+	Table(name string) (*rel.Table, error)
+	// Rel resolves a named in-memory relation.
+	Rel(name string) (*rel.Relation, error)
+}
+
+// Eval evaluates the plan against the environment, returning a derived
+// relation. Accesses to stored tables are charged to their cost counters;
+// operations on derived data are free, matching the paper's cost model.
+// The returned relation's tuples may alias stored rows and must not be
+// mutated.
+func Eval(n Node, env Env) (*rel.Relation, error) {
+	switch x := n.(type) {
+	case *Scan:
+		return evalScan(x, env)
+	case *Empty:
+		return rel.NewRelation(x.Sch), nil
+	case *RelRef:
+		return evalRelRef(x, env)
+	case *Select:
+		return evalSelect(x, env)
+	case *Project:
+		return evalProject(x, env)
+	case *Join:
+		return evalJoin(x, env)
+	case *SemiJoin:
+		return evalSemi(x, env, true)
+	case *AntiJoin:
+		return evalSemi(x, env, false)
+	case *GroupBy:
+		return evalGroupBy(x, env)
+	case *UnionAll:
+		return evalUnion(x, env)
+	default:
+		return nil, fmt.Errorf("algebra: unknown node type %T", n)
+	}
+}
+
+func evalScan(s *Scan, env Env) (*rel.Relation, error) {
+	t, err := env.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	out := rel.NewRelation(s.schema)
+	out.Tuples = append(out.Tuples, t.Scan(s.St)...)
+	return out, nil
+}
+
+func evalRelRef(r *RelRef, env Env) (*rel.Relation, error) {
+	if r.Stored {
+		t, err := env.Table(r.Name)
+		if err != nil {
+			return nil, err
+		}
+		out := rel.NewRelation(r.Sch)
+		out.Tuples = append(out.Tuples, t.Scan(r.St)...)
+		return out, nil
+	}
+	rr, err := env.Rel(r.Name)
+	if err != nil {
+		return nil, err
+	}
+	out := rel.NewRelation(r.Sch)
+	out.Tuples = append(out.Tuples, rr.Tuples...)
+	return out, nil
+}
+
+func evalSelect(s *Select, env Env) (*rel.Relation, error) {
+	child, err := Eval(s.Child, env)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := expr.Compile(s.Pred, child.Schema)
+	if err != nil {
+		return nil, err
+	}
+	out := rel.NewRelation(child.Schema)
+	for _, t := range child.Tuples {
+		if pred.EvalBool(t) {
+			out.Add(t)
+		}
+	}
+	return out, nil
+}
+
+func evalProject(p *Project, env Env) (*rel.Relation, error) {
+	child, err := Eval(p.Child, env)
+	if err != nil {
+		return nil, err
+	}
+	compiled := make([]*expr.Compiled, len(p.Items))
+	for i, it := range p.Items {
+		c, err := expr.Compile(it.E, child.Schema)
+		if err != nil {
+			return nil, err
+		}
+		compiled[i] = c
+	}
+	out := rel.NewRelation(p.Schema())
+	for _, t := range child.Tuples {
+		nt := make(rel.Tuple, len(compiled))
+		for i, c := range compiled {
+			nt[i] = c.Eval(t)
+		}
+		out.Add(nt)
+	}
+	return out, nil
+}
+
+// probeTarget describes a join input that can be probed through a stored
+// table's secondary index: a Scan, optionally wrapped in Selects, or a
+// stored RelRef. extra is the residual selection predicate to apply to
+// probed rows (over the node's qualified schema).
+type probeTarget struct {
+	table  *rel.Table
+	state  rel.State
+	schema rel.Schema // qualified output schema
+	toBare func(string) string
+	extra  expr.Expr
+}
+
+func asProbe(n Node, env Env) (*probeTarget, bool) {
+	var preds []expr.Expr
+	for {
+		sel, ok := n.(*Select)
+		if !ok {
+			break
+		}
+		preds = append(preds, sel.Pred)
+		n = sel.Child
+	}
+	switch x := n.(type) {
+	case *Scan:
+		t, err := env.Table(x.Table)
+		if err != nil {
+			return nil, false
+		}
+		return &probeTarget{
+			table:  t,
+			state:  x.St,
+			schema: x.schema,
+			toBare: x.BareAttr,
+			extra:  expr.And(preds...),
+		}, true
+	case *RelRef:
+		if !x.Stored {
+			return nil, false
+		}
+		t, err := env.Table(x.Name)
+		if err != nil {
+			return nil, false
+		}
+		toBare := func(s string) string { return s }
+		if len(x.Bare) > 0 {
+			m := make(map[string]string, len(x.Bare))
+			for i, a := range x.Sch.Attrs {
+				m[a] = x.Bare[i]
+			}
+			toBare = func(s string) string {
+				if b, ok := m[s]; ok {
+					return b
+				}
+				return s
+			}
+		}
+		return &probeTarget{
+			table:  t,
+			state:  x.St,
+			schema: x.Sch,
+			toBare: toBare,
+			extra:  expr.And(preds...),
+		}, true
+	}
+	return nil, false
+}
+
+func (p *probeTarget) lookup(attrs []string, vals []rel.Value) ([]rel.Tuple, error) {
+	bare := make([]string, len(attrs))
+	for i, a := range attrs {
+		bare[i] = p.toBare(a)
+	}
+	rows, err := p.table.Lookup(p.state, bare, vals)
+	if err != nil {
+		return nil, err
+	}
+	if expr.IsTrueLit(p.extra) {
+		return rows, nil
+	}
+	pred, err := expr.Compile(p.extra, p.schema)
+	if err != nil {
+		return nil, err
+	}
+	var out []rel.Tuple
+	for _, r := range rows {
+		if pred.EvalBool(r) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func evalJoin(j *Join, env Env) (*rel.Relation, error) {
+	ls, rs := j.Left.Schema(), j.Right.Schema()
+	outSchema := j.Schema()
+	lcols, rcols, residual := expr.EquiPairs(j.Pred, ls, rs)
+
+	// Diff-driven short-circuit: if one side reads no stored data (it is a
+	// pure diff computation), evaluate it first; an empty diff makes the
+	// whole join free, as a diff-driven DBMS plan would.
+	if !TouchesStored(j.Left) {
+		left, err := Eval(j.Left, env)
+		if err != nil {
+			return nil, err
+		}
+		if left.Len() == 0 {
+			return rel.NewRelation(outSchema), nil
+		}
+	} else if !TouchesStored(j.Right) {
+		right, err := Eval(j.Right, env)
+		if err != nil {
+			return nil, err
+		}
+		if right.Len() == 0 {
+			return rel.NewRelation(outSchema), nil
+		}
+	}
+
+	concat := func(out *rel.Relation, lt, rt rel.Tuple) {
+		nt := make(rel.Tuple, 0, len(lt)+len(rt))
+		nt = append(nt, lt...)
+		nt = append(nt, rt...)
+		out.Add(nt)
+	}
+
+	if len(lcols) > 0 {
+		// Index nested-loop against a stored right side.
+		if probe, ok := asProbe(j.Right, env); ok {
+			left, err := Eval(j.Left, env)
+			if err != nil {
+				return nil, err
+			}
+			lidx, err := left.Schema.Indices(lcols)
+			if err != nil {
+				return nil, err
+			}
+			var res *expr.CompiledPair
+			if !expr.IsTrueLit(residual) {
+				if res, err = expr.CompilePair(residual, ls, rs); err != nil {
+					return nil, err
+				}
+			}
+			out := rel.NewRelation(outSchema)
+			vals := make([]rel.Value, len(lidx))
+			for _, lt := range left.Tuples {
+				for i, x := range lidx {
+					vals[i] = lt[x]
+				}
+				if hasNull(vals) {
+					continue
+				}
+				rows, err := probe.lookup(rcols, vals)
+				if err != nil {
+					return nil, err
+				}
+				for _, rt := range rows {
+					if res == nil || res.EvalBool(lt, rt) {
+						concat(out, lt, rt)
+					}
+				}
+			}
+			return out, nil
+		}
+		// Symmetric case: probe a stored left side from a derived right.
+		if probe, ok := asProbe(j.Left, env); ok {
+			right, err := Eval(j.Right, env)
+			if err != nil {
+				return nil, err
+			}
+			ridx, err := right.Schema.Indices(rcols)
+			if err != nil {
+				return nil, err
+			}
+			var res *expr.CompiledPair
+			if !expr.IsTrueLit(residual) {
+				if res, err = expr.CompilePair(residual, ls, rs); err != nil {
+					return nil, err
+				}
+			}
+			out := rel.NewRelation(outSchema)
+			vals := make([]rel.Value, len(ridx))
+			for _, rt := range right.Tuples {
+				for i, x := range ridx {
+					vals[i] = rt[x]
+				}
+				if hasNull(vals) {
+					continue
+				}
+				rows, err := probe.lookup(lcols, vals)
+				if err != nil {
+					return nil, err
+				}
+				for _, lt := range rows {
+					if res == nil || res.EvalBool(lt, rt) {
+						concat(out, lt, rt)
+					}
+				}
+			}
+			return out, nil
+		}
+		// Hash join over two derived inputs.
+		left, err := Eval(j.Left, env)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Eval(j.Right, env)
+		if err != nil {
+			return nil, err
+		}
+		lidx, err := left.Schema.Indices(lcols)
+		if err != nil {
+			return nil, err
+		}
+		ridx, err := right.Schema.Indices(rcols)
+		if err != nil {
+			return nil, err
+		}
+		var res *expr.CompiledPair
+		if !expr.IsTrueLit(residual) {
+			if res, err = expr.CompilePair(residual, ls, rs); err != nil {
+				return nil, err
+			}
+		}
+		buckets := make(map[string][]rel.Tuple)
+		for _, rt := range right.Tuples {
+			buckets[rel.KeyOf(rt, ridx)] = append(buckets[rel.KeyOf(rt, ridx)], rt)
+		}
+		out := rel.NewRelation(outSchema)
+		for _, lt := range left.Tuples {
+			for _, rt := range buckets[rel.KeyOf(lt, lidx)] {
+				if res == nil || res.EvalBool(lt, rt) {
+					concat(out, lt, rt)
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// Pure theta join: nested loop over materialized inputs.
+	left, err := Eval(j.Left, env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Eval(j.Right, env)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := expr.CompilePair(j.Pred, ls, rs)
+	if err != nil {
+		return nil, err
+	}
+	out := rel.NewRelation(outSchema)
+	for _, lt := range left.Tuples {
+		for _, rt := range right.Tuples {
+			if pred.EvalBool(lt, rt) {
+				concat(out, lt, rt)
+			}
+		}
+	}
+	return out, nil
+}
+
+func evalSemi(n Node, env Env, keepMatching bool) (*rel.Relation, error) {
+	var l, r Node
+	var p expr.Expr
+	if keepMatching {
+		s := n.(*SemiJoin)
+		l, r, p = s.Left, s.Right, s.Pred
+	} else {
+		a := n.(*AntiJoin)
+		l, r, p = a.Left, a.Right, a.Pred
+	}
+	ls, rs := l.Schema(), r.Schema()
+	lcols, rcols, residual := expr.EquiPairs(p, ls, rs)
+
+	// Memoized right-side evaluation, so key-set-first ordering never
+	// charges stored accesses twice.
+	var rightRel *rel.Relation
+	evalRight := func() (*rel.Relation, error) {
+		if rightRel == nil {
+			var err error
+			rightRel, err = Eval(r, env)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return rightRel, nil
+	}
+
+	_, rightProbe := asProbe(r, env)
+
+	// Key-set-first ordering: for a semijoin whose right (filter) side is
+	// not index-probeable, that side is the small key set driving the
+	// operation. Evaluate it first and return empty — without touching the
+	// potentially expensive left side — when it is empty.
+	if keepMatching && !rightProbe {
+		right, err := evalRight()
+		if err != nil {
+			return nil, err
+		}
+		if right.Len() == 0 {
+			return rel.NewRelation(ls), nil
+		}
+	}
+
+	// Probe-left strategy: a semijoin of a stored left side against a small
+	// derived key set probes the left index once per distinct right key,
+	// reading only the matching stored rows. Only valid for pure equi
+	// predicates.
+	if keepMatching && !rightProbe && len(lcols) > 0 && expr.IsTrueLit(residual) {
+		if probe, ok := asProbe(l, env); ok {
+			right, err := evalRight()
+			if err != nil {
+				return nil, err
+			}
+			ridx, err := right.Schema.Indices(rcols)
+			if err != nil {
+				return nil, err
+			}
+			out := rel.NewRelation(ls)
+			seenKey := map[string]bool{}
+			emitted := map[string]bool{}
+			vals := make([]rel.Value, len(ridx))
+			for _, rt := range right.Tuples {
+				for i, x := range ridx {
+					vals[i] = rt[x]
+				}
+				if hasNull(vals) {
+					continue
+				}
+				k := rel.TupleKey(vals)
+				if seenKey[k] {
+					continue
+				}
+				seenKey[k] = true
+				rows, err := probe.lookup(lcols, vals)
+				if err != nil {
+					return nil, err
+				}
+				for _, lt := range rows {
+					tk := rel.TupleKey(lt)
+					if !emitted[tk] {
+						emitted[tk] = true
+						out.Add(lt)
+					}
+				}
+			}
+			return out, nil
+		}
+	}
+
+	left, err := Eval(l, env)
+	if err != nil {
+		return nil, err
+	}
+	out := rel.NewRelation(ls)
+	if left.Len() == 0 {
+		return out, nil
+	}
+
+	if len(lcols) > 0 {
+		var res *expr.CompiledPair
+		if !expr.IsTrueLit(residual) {
+			if res, err = expr.CompilePair(residual, ls, rs); err != nil {
+				return nil, err
+			}
+		}
+		matchFn := func(lt rel.Tuple, rows []rel.Tuple) bool {
+			for _, rt := range rows {
+				if res == nil || res.EvalBool(lt, rt) {
+					return true
+				}
+			}
+			return false
+		}
+		lidx, err := left.Schema.Indices(lcols)
+		if err != nil {
+			return nil, err
+		}
+		if probe, ok := asProbe(r, env); ok {
+			vals := make([]rel.Value, len(lidx))
+			for _, lt := range left.Tuples {
+				for i, x := range lidx {
+					vals[i] = lt[x]
+				}
+				matched := false
+				if !hasNull(vals) {
+					rows, err := probe.lookup(rcols, vals)
+					if err != nil {
+						return nil, err
+					}
+					matched = matchFn(lt, rows)
+				}
+				if matched == keepMatching {
+					out.Add(lt)
+				}
+			}
+			return out, nil
+		}
+		right, err := evalRight()
+		if err != nil {
+			return nil, err
+		}
+		ridx, err := right.Schema.Indices(rcols)
+		if err != nil {
+			return nil, err
+		}
+		buckets := make(map[string][]rel.Tuple)
+		for _, rt := range right.Tuples {
+			buckets[rel.KeyOf(rt, ridx)] = append(buckets[rel.KeyOf(rt, ridx)], rt)
+		}
+		for _, lt := range left.Tuples {
+			k := rel.KeyOf(lt, lidx)
+			matched := matchFn(lt, buckets[k])
+			if matched == keepMatching {
+				out.Add(lt)
+			}
+		}
+		return out, nil
+	}
+
+	// Non-equi: nested loop.
+	right, err := evalRight()
+	if err != nil {
+		return nil, err
+	}
+	pred, err := expr.CompilePair(p, ls, rs)
+	if err != nil {
+		return nil, err
+	}
+	for _, lt := range left.Tuples {
+		matched := false
+		for _, rt := range right.Tuples {
+			if pred.EvalBool(lt, rt) {
+				matched = true
+				break
+			}
+		}
+		if matched == keepMatching {
+			out.Add(lt)
+		}
+	}
+	return out, nil
+}
+
+func evalUnion(u *UnionAll, env Env) (*rel.Relation, error) {
+	left, err := Eval(u.Left, env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Eval(u.Right, env)
+	if err != nil {
+		return nil, err
+	}
+	out := rel.NewRelation(u.Schema())
+	for _, t := range left.Tuples {
+		out.Add(append(append(rel.Tuple{}, t...), rel.Int(0)))
+	}
+	for _, t := range right.Tuples {
+		out.Add(append(append(rel.Tuple{}, t...), rel.Int(1)))
+	}
+	return out, nil
+}
+
+func hasNull(vals []rel.Value) bool {
+	for _, v := range vals {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// WithState returns a deep copy of the plan with every Scan and stored
+// RelRef retargeted at the given table state. It is how the rule engine
+// materializes Input_pre vs Input_post (Section 4).
+func WithState(n Node, st rel.State) Node {
+	switch x := n.(type) {
+	case *Scan:
+		c := *x
+		c.St = st
+		return &c
+	case *RelRef:
+		c := *x
+		if c.Stored {
+			c.St = st
+		}
+		return &c
+	case *Select:
+		return &Select{Child: WithState(x.Child, st), Pred: x.Pred}
+	case *Project:
+		return &Project{Child: WithState(x.Child, st), Items: x.Items}
+	case *Join:
+		return &Join{Left: WithState(x.Left, st), Right: WithState(x.Right, st), Pred: x.Pred}
+	case *SemiJoin:
+		return &SemiJoin{Left: WithState(x.Left, st), Right: WithState(x.Right, st), Pred: x.Pred}
+	case *AntiJoin:
+		return &AntiJoin{Left: WithState(x.Left, st), Right: WithState(x.Right, st), Pred: x.Pred}
+	case *GroupBy:
+		return &GroupBy{Child: WithState(x.Child, st), Keys: x.Keys, Aggs: x.Aggs}
+	case *UnionAll:
+		return &UnionAll{Left: WithState(x.Left, st), Right: WithState(x.Right, st), BranchAttr: x.BranchAttr}
+	default:
+		return n
+	}
+}

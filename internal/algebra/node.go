@@ -1,0 +1,492 @@
+// Package algebra implements the logical relational algebra of QSPJADU —
+// Selection, generalized Projection, Join, Aggregation, Antisemijoin and
+// Union (plus semijoin and cross product as internal operators) — together
+// with an index-aware evaluator over the rel storage layer.
+//
+// Every node carries a schema whose Key field holds the node's ID
+// attributes per the paper's Table 1 ID inference rules. Plans whose
+// projections would drop IDs can be repaired with EnsureIDs (pass 1 of the
+// Δ-script generation algorithm).
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"idivm/internal/expr"
+	"idivm/internal/rel"
+)
+
+// Node is a relational algebra plan node.
+type Node interface {
+	// Schema returns the node's output schema; Schema().Key holds the
+	// node's ID attributes (empty if IDs were lost by a projection and
+	// EnsureIDs has not run).
+	Schema() rel.Schema
+	// Children returns the node's inputs, left before right.
+	Children() []Node
+	// String renders the subplan.
+	String() string
+}
+
+// Scan reads a stored table, optionally under an alias. Its schema
+// qualifies every attribute with the alias (or the table name), which
+// doubles as base-attribute provenance for the Section 5 analysis.
+type Scan struct {
+	Table string
+	Alias string
+	// St selects pre- or post-state during a maintenance epoch.
+	St     rel.State
+	schema rel.Schema
+}
+
+// NewScan builds a scan node given the stored table's (bare) schema.
+func NewScan(table, alias string, tableSchema rel.Schema) *Scan {
+	if alias == "" {
+		alias = table
+	}
+	s := rel.NewSchema(rel.Qualify(alias, tableSchema.Attrs), rel.Qualify(alias, tableSchema.Key))
+	return &Scan{Table: table, Alias: alias, schema: s}
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() rel.Schema { return s.schema }
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// String implements Node.
+func (s *Scan) String() string {
+	if s.Alias != s.Table {
+		return fmt.Sprintf("SCAN %s AS %s", s.Table, s.Alias)
+	}
+	return "SCAN " + s.Table
+}
+
+// BareAttr maps one of the scan's qualified attribute names back to the
+// stored table's bare attribute name.
+func (s *Scan) BareAttr(qualified string) string {
+	return strings.TrimPrefix(qualified, s.Alias+".")
+}
+
+// Select filters its child by a predicate.
+type Select struct {
+	Child Node
+	Pred  expr.Expr
+}
+
+// NewSelect builds a selection, validating predicate columns.
+func NewSelect(child Node, pred expr.Expr) *Select {
+	mustHaveCols(child.Schema(), pred.Cols(), "selection predicate")
+	return &Select{Child: child, Pred: pred}
+}
+
+// Schema implements Node.
+func (s *Select) Schema() rel.Schema { return s.Child.Schema() }
+
+// Children implements Node.
+func (s *Select) Children() []Node { return []Node{s.Child} }
+
+// String implements Node.
+func (s *Select) String() string { return fmt.Sprintf("σ[%s](%s)", s.Pred, s.Child) }
+
+// ProjItem is one output column of a generalized projection.
+type ProjItem struct {
+	E  expr.Expr
+	As string
+}
+
+// Project is the generalized projection π with functions.
+type Project struct {
+	Child Node
+	Items []ProjItem
+}
+
+// NewProject builds a projection. The output key is the child's key if all
+// its attributes survive as plain column references; otherwise the key is
+// empty and EnsureIDs must repair the plan before IVM.
+func NewProject(child Node, items []ProjItem) *Project {
+	seen := map[string]bool{}
+	for _, it := range items {
+		mustHaveCols(child.Schema(), it.E.Cols(), "projection item "+it.As)
+		if it.As == "" {
+			panic("algebra: projection item without output name")
+		}
+		if seen[it.As] {
+			panic(fmt.Sprintf("algebra: duplicate projection output %q", it.As))
+		}
+		seen[it.As] = true
+	}
+	return &Project{Child: child, Items: items}
+}
+
+// Keep is a convenience building a plain column-keeping projection.
+func Keep(child Node, cols ...string) *Project {
+	items := make([]ProjItem, len(cols))
+	for i, c := range cols {
+		items[i] = ProjItem{E: expr.C(c), As: c}
+	}
+	return NewProject(child, items)
+}
+
+// Schema implements Node. The output key is the child's key mapped
+// through the projection: each child key attribute must survive as a
+// plain column reference (possibly renamed) for the key to carry over.
+func (p *Project) Schema() rel.Schema {
+	attrs := make([]string, len(p.Items))
+	for i, it := range p.Items {
+		attrs[i] = it.As
+	}
+	key := p.KeyMapping()
+	var outKey []string
+	if key != nil {
+		outKey = make([]string, 0, len(key))
+		for _, k := range p.Child.Schema().Key {
+			outKey = append(outKey, key[k])
+		}
+	}
+	return rel.NewSchema(attrs, outKey)
+}
+
+// KeyMapping returns, when the child's key survives the projection, the
+// map from each child key attribute to its output column name; nil when
+// some key attribute is dropped or computed away.
+func (p *Project) KeyMapping() map[string]string {
+	childKey := p.Child.Schema().Key
+	if len(childKey) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(childKey))
+	for _, k := range childKey {
+		found := ""
+		for _, it := range p.Items {
+			if c, ok := it.E.(expr.Col); ok && c.Name == k {
+				found = it.As
+				if it.As == k {
+					break // prefer the same-name copy when both exist
+				}
+			}
+		}
+		if found == "" {
+			return nil
+		}
+		m[k] = found
+	}
+	return m
+}
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Child} }
+
+// String implements Node.
+func (p *Project) String() string {
+	parts := make([]string, len(p.Items))
+	for i, it := range p.Items {
+		if c, ok := it.E.(expr.Col); ok && c.Name == it.As {
+			parts[i] = it.As
+		} else {
+			parts[i] = fmt.Sprintf("%s→%s", it.E, it.As)
+		}
+	}
+	return fmt.Sprintf("π[%s](%s)", strings.Join(parts, ", "), p.Child)
+}
+
+// Join is an inner theta-join; a cross product when Pred is TRUE.
+type Join struct {
+	Left, Right Node
+	Pred        expr.Expr
+}
+
+// NewJoin builds a join, validating disjoint schemas and predicate columns.
+func NewJoin(l, r Node, pred expr.Expr) *Join {
+	checkDisjoint(l.Schema(), r.Schema(), "join")
+	if pred == nil {
+		pred = expr.True()
+	}
+	mustHavePairCols(l.Schema(), r.Schema(), pred.Cols(), "join predicate")
+	return &Join{Left: l, Right: r, Pred: pred}
+}
+
+// Schema implements Node. Per Table 1, ID(R ⋈ S) = ID(R) ∪ ID(S).
+func (j *Join) Schema() rel.Schema {
+	ls, rs := j.Left.Schema(), j.Right.Schema()
+	attrs := append(append([]string(nil), ls.Attrs...), rs.Attrs...)
+	var key []string
+	if len(ls.Key) > 0 && len(rs.Key) > 0 {
+		key = append(append([]string(nil), ls.Key...), rs.Key...)
+	}
+	return rel.NewSchema(attrs, key)
+}
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
+
+// String implements Node.
+func (j *Join) String() string { return fmt.Sprintf("(%s ⋈[%s] %s)", j.Left, j.Pred, j.Right) }
+
+// SemiJoin keeps the left tuples having at least one match on the right.
+type SemiJoin struct {
+	Left, Right Node
+	Pred        expr.Expr
+}
+
+// NewSemiJoin builds a semijoin.
+func NewSemiJoin(l, r Node, pred expr.Expr) *SemiJoin {
+	mustHavePairCols(l.Schema(), r.Schema(), pred.Cols(), "semijoin predicate")
+	return &SemiJoin{Left: l, Right: r, Pred: pred}
+}
+
+// Schema implements Node.
+func (s *SemiJoin) Schema() rel.Schema { return s.Left.Schema() }
+
+// Children implements Node.
+func (s *SemiJoin) Children() []Node { return []Node{s.Left, s.Right} }
+
+// String implements Node.
+func (s *SemiJoin) String() string {
+	return fmt.Sprintf("(%s ⋉[%s] %s)", s.Left, s.Pred, s.Right)
+}
+
+// AntiJoin (antisemijoin) keeps the left tuples having no match on the
+// right; it captures negation/difference per the paper.
+type AntiJoin struct {
+	Left, Right Node
+	Pred        expr.Expr
+}
+
+// NewAntiJoin builds an antisemijoin.
+func NewAntiJoin(l, r Node, pred expr.Expr) *AntiJoin {
+	mustHavePairCols(l.Schema(), r.Schema(), pred.Cols(), "antisemijoin predicate")
+	return &AntiJoin{Left: l, Right: r, Pred: pred}
+}
+
+// Schema implements Node. Per Table 1, ID(R ▷ S) = ID(R).
+func (a *AntiJoin) Schema() rel.Schema { return a.Left.Schema() }
+
+// Children implements Node.
+func (a *AntiJoin) Children() []Node { return []Node{a.Left, a.Right} }
+
+// String implements Node.
+func (a *AntiJoin) String() string {
+	return fmt.Sprintf("(%s ▷[%s] %s)", a.Left, a.Pred, a.Right)
+}
+
+// AggFn names an aggregation function.
+type AggFn string
+
+// The supported aggregation functions. Sum, Count and Avg have dedicated
+// incremental i-diff rules (Tables 9, 11, 12); Min and Max use the general
+// group-recompute rule (Table 7).
+const (
+	AggSum   AggFn = "sum"
+	AggCount AggFn = "count"
+	AggAvg   AggFn = "avg"
+	AggMin   AggFn = "min"
+	AggMax   AggFn = "max"
+)
+
+// Agg is one aggregate output of a group-by.
+type Agg struct {
+	Fn  AggFn
+	Arg expr.Expr // nil means COUNT(*)
+	As  string
+}
+
+// GroupBy groups its child by key columns and computes aggregates.
+type GroupBy struct {
+	Child Node
+	Keys  []string
+	Aggs  []Agg
+}
+
+// NewGroupBy builds an aggregation node. Per Table 1, its IDs are the
+// grouping attributes.
+func NewGroupBy(child Node, keys []string, aggs []Agg) *GroupBy {
+	mustHaveCols(child.Schema(), keys, "group-by keys")
+	seen := map[string]bool{}
+	for _, k := range keys {
+		seen[k] = true
+	}
+	for _, a := range aggs {
+		if a.Arg != nil {
+			mustHaveCols(child.Schema(), a.Arg.Cols(), "aggregate "+a.As)
+		} else if a.Fn != AggCount {
+			panic(fmt.Sprintf("algebra: aggregate %s requires an argument", a.Fn))
+		}
+		if a.As == "" {
+			panic("algebra: aggregate without output name")
+		}
+		if seen[a.As] {
+			panic(fmt.Sprintf("algebra: duplicate aggregate output %q", a.As))
+		}
+		seen[a.As] = true
+	}
+	return &GroupBy{Child: child, Keys: append([]string(nil), keys...), Aggs: aggs}
+}
+
+// Schema implements Node.
+func (g *GroupBy) Schema() rel.Schema {
+	attrs := append([]string(nil), g.Keys...)
+	for _, a := range g.Aggs {
+		attrs = append(attrs, a.As)
+	}
+	return rel.NewSchema(attrs, g.Keys)
+}
+
+// Children implements Node.
+func (g *GroupBy) Children() []Node { return []Node{g.Child} }
+
+// String implements Node.
+func (g *GroupBy) String() string {
+	parts := make([]string, len(g.Aggs))
+	for i, a := range g.Aggs {
+		arg := "*"
+		if a.Arg != nil {
+			arg = a.Arg.String()
+		}
+		parts[i] = fmt.Sprintf("%s(%s)→%s", a.Fn, arg, a.As)
+	}
+	return fmt.Sprintf("γ[%s; %s](%s)", strings.Join(g.Keys, ","), strings.Join(parts, ","), g.Child)
+}
+
+// UnionAll is the special bag union of the paper's Section 2: it appends a
+// branch attribute b (0 for left, 1 for right) so output IDs remain keys.
+// Both children must have identical attribute lists.
+type UnionAll struct {
+	Left, Right Node
+	BranchAttr  string
+}
+
+// NewUnionAll builds a union-all node.
+func NewUnionAll(l, r Node, branchAttr string) *UnionAll {
+	ls, rs := l.Schema(), r.Schema()
+	if strings.Join(ls.Attrs, ",") != strings.Join(rs.Attrs, ",") {
+		panic(fmt.Sprintf("algebra: union children schemas differ: %v vs %v", ls.Attrs, rs.Attrs))
+	}
+	if branchAttr == "" {
+		branchAttr = "b"
+	}
+	if ls.Has(branchAttr) {
+		panic(fmt.Sprintf("algebra: branch attribute %q collides with child schema", branchAttr))
+	}
+	return &UnionAll{Left: l, Right: r, BranchAttr: branchAttr}
+}
+
+// Schema implements Node. Per Table 1, ID = ID(R) ∪ ID(S) ∪ {b}.
+func (u *UnionAll) Schema() rel.Schema {
+	ls, rs := u.Left.Schema(), u.Right.Schema()
+	attrs := append(append([]string(nil), ls.Attrs...), u.BranchAttr)
+	var key []string
+	if len(ls.Key) > 0 && len(rs.Key) > 0 {
+		key = append(rel.Union(ls.Key, rs.Key), u.BranchAttr)
+	}
+	return rel.NewSchema(attrs, key)
+}
+
+// Children implements Node.
+func (u *UnionAll) Children() []Node { return []Node{u.Left, u.Right} }
+
+// String implements Node.
+func (u *UnionAll) String() string { return fmt.Sprintf("(%s ∪all %s)", u.Left, u.Right) }
+
+// RelRef is a leaf referring to a named relation bound at evaluation time
+// through the Env: diff tables, cache contents, or precomputed inputs. It
+// is how Δ-script plans mention ∆-tables, Input_pre/post, Output and
+// caches (Section 4).
+type RelRef struct {
+	Name   string
+	Sch    rel.Schema
+	Stored bool // when true, Env binds it to a stored table (accesses are charged)
+	St     rel.State
+	// Bare optionally maps Sch.Attrs positions back to the stored table's
+	// attribute names, letting a stored ref present renamed columns while
+	// remaining index-probeable. Empty means names match.
+	Bare []string
+}
+
+// NewRelRef builds a reference to an in-memory (derived) relation.
+func NewRelRef(name string, schema rel.Schema) *RelRef {
+	return &RelRef{Name: name, Sch: schema}
+}
+
+// NewStoredRef builds a reference to a stored table (cache/view) in the
+// given state; its accesses are charged to the cost counter.
+func NewStoredRef(name string, schema rel.Schema, st rel.State) *RelRef {
+	return &RelRef{Name: name, Sch: schema, Stored: true, St: st}
+}
+
+// Renamed returns a copy of the ref presenting each attribute with the
+// given suffix appended, keeping index-probeability via the Bare mapping.
+func (r *RelRef) Renamed(suffix string) *RelRef {
+	bare := r.Bare
+	if len(bare) == 0 {
+		bare = append([]string(nil), r.Sch.Attrs...)
+	}
+	attrs := make([]string, len(r.Sch.Attrs))
+	for i, a := range r.Sch.Attrs {
+		attrs[i] = a + suffix
+	}
+	key := make([]string, len(r.Sch.Key))
+	for i, k := range r.Sch.Key {
+		key[i] = k + suffix
+	}
+	return &RelRef{
+		Name:   r.Name,
+		Sch:    rel.NewSchema(attrs, key),
+		Stored: r.Stored,
+		St:     r.St,
+		Bare:   bare,
+	}
+}
+
+// Schema implements Node.
+func (r *RelRef) Schema() rel.Schema { return r.Sch }
+
+// Children implements Node.
+func (r *RelRef) Children() []Node { return nil }
+
+// String implements Node.
+func (r *RelRef) String() string {
+	if r.Stored {
+		return fmt.Sprintf("@%s[%s]", r.Name, r.St)
+	}
+	return "@" + r.Name
+}
+
+// Empty is a leaf that always evaluates to the empty relation. The
+// semantic minimizer introduces it when an i-diff constraint proves a
+// subplan vacuous (e.g. ∆-R ⋈ R_post = ∅ by constraint C2).
+type Empty struct{ Sch rel.Schema }
+
+// Schema implements Node.
+func (e *Empty) Schema() rel.Schema { return e.Sch }
+
+// Children implements Node.
+func (e *Empty) Children() []Node { return nil }
+
+// String implements Node.
+func (e *Empty) String() string { return "∅" }
+
+func mustHaveCols(s rel.Schema, cols []string, what string) {
+	for _, c := range cols {
+		if !s.Has(c) {
+			panic(fmt.Sprintf("algebra: %s references unknown column %q (schema %v)", what, c, s.Attrs))
+		}
+	}
+}
+
+func mustHavePairCols(l, r rel.Schema, cols []string, what string) {
+	for _, c := range cols {
+		if !l.Has(c) && !r.Has(c) {
+			panic(fmt.Sprintf("algebra: %s references unknown column %q (schemas %v, %v)", what, c, l.Attrs, r.Attrs))
+		}
+	}
+}
+
+func checkDisjoint(l, r rel.Schema, what string) {
+	for _, a := range r.Attrs {
+		if l.Has(a) {
+			panic(fmt.Sprintf("algebra: %s children share attribute %q; alias one side", what, a))
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package bsma
+
+import (
+	"testing"
+
+	"idivm/internal/ivm"
+	"idivm/internal/rel"
+)
+
+func smallParams() Params {
+	p := Defaults(200)
+	p.FriendsPerUser = 5
+	p.TweetsPerUser = 5
+	p.UpdateCount = 20
+	return p
+}
+
+// Figure 9a ratio check: the generator must preserve the paper's table
+// proportions (retweets = tweets × 0.2, mentions = tweets × 0.4, event
+// links = tweets × 0.8, friendlist ≈ users × friends-per-user).
+func TestBSMARatios(t *testing.T) {
+	p := smallParams()
+	ds := Build(p)
+	sizes := ds.TableRatios()
+	tweets := sizes["microblog"]
+	if tweets != p.Users*p.TweetsPerUser {
+		t.Fatalf("tweets = %d", tweets)
+	}
+	checkRatio := func(name string, want float64) {
+		got := float64(sizes[name]) / float64(tweets)
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("%s/tweets = %.3f, want ≈ %.3f", name, got, want)
+		}
+	}
+	checkRatio("retweets", 0.2)
+	checkRatio("mentions", 0.4)
+	checkRatio("rel_event_microblog", 0.8)
+	if sizes["friendlist"] < p.Users*(p.FriendsPerUser-1) {
+		t.Errorf("friendlist = %d, want ≈ %d", sizes["friendlist"], p.Users*p.FriendsPerUser)
+	}
+	if sizes["user"] != p.Users {
+		t.Errorf("users = %d", sizes["user"])
+	}
+}
+
+// Every BSMA view must maintain correctly under the paper's update
+// workload in both modes.
+func TestBSMAViewsMaintainCorrectly(t *testing.T) {
+	for _, name := range QueryNames() {
+		for _, mode := range []ivm.Mode{ivm.ModeID, ivm.ModeTuple} {
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				p := smallParams()
+				ds := Build(p)
+				s := ivm.NewSystem(ds.DB)
+				plan, err := ds.Plan(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.RegisterView(name, plan, mode); err != nil {
+					t.Fatalf("register: %v", err)
+				}
+				for round := 0; round < 2; round++ {
+					if err := ds.ApplyUserUpdates(); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := s.MaintainAll(); err != nil {
+						t.Fatalf("maintain: %v", err)
+					}
+					if err := s.CheckConsistent(name); err != nil {
+						t.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// The headline Figure 10 property: ID-based IVM beats tuple-based IVM on
+// every view of the workload.
+func TestBSMASpeedupsPositive(t *testing.T) {
+	run := func(name string, mode ivm.Mode) int64 {
+		p := smallParams()
+		ds := Build(p)
+		s := ivm.NewSystem(ds.DB)
+		plan, err := ds.Plan(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.RegisterView(name, plan, mode); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.ApplyUserUpdates(); err != nil {
+			t.Fatal(err)
+		}
+		ds.DB.Counter().Reset()
+		reports, err := s.MaintainAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CheckConsistent(name); err != nil {
+			t.Fatal(err)
+		}
+		return reports[0].Phases.Total().Total()
+	}
+	for _, name := range QueryNames() {
+		id := run(name, ivm.ModeID)
+		tu := run(name, ivm.ModeTuple)
+		t.Logf("%-4s id=%-8d tuple=%-8d speedup=%.1f", name, id, tu, float64(tu)/float64(id))
+		if id > tu {
+			t.Errorf("%s: ID-based (%d) lost to tuple-based (%d)", name, id, tu)
+		}
+	}
+}
+
+func TestPlanUnknownQuery(t *testing.T) {
+	ds := Build(smallParams())
+	if _, err := ds.Plan("Q99"); err == nil {
+		t.Fatal("unknown query must error")
+	}
+	// All views evaluate non-empty.
+	for _, name := range QueryNames() {
+		plan, err := ds.Plan(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Schema().Attrs) == 0 {
+			t.Errorf("%s: empty schema", name)
+		}
+	}
+	_ = rel.StatePost
+}

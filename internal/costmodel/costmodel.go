@@ -1,0 +1,111 @@
+// Package costmodel implements the analytical performance model of the
+// paper's Section 6 and Appendix A: closed-form speedup ratios of ID-based
+// over tuple-based IVM expressed in the access-count cost model (tuple
+// accesses + index lookups), plus helpers for extracting the model's
+// parameters from measured maintenance runs.
+package costmodel
+
+// Params are the quantities the analysis is expressed in.
+//
+//	A — the average number of accesses the tuple-based approach performs
+//	    per base-table diff tuple to compute the view diff (the
+//	    diff-driven loop cost of Appendix A.1);
+//	P — the i-diff compression factor p = |D_V| / |∆_V|: view tuples
+//	    modified per i-diff tuple (>1 when i-diffs compress, <1 when they
+//	    overestimate);
+//	G — the grouping compression factor g = |Du_Vagg| / |Du_Vspj| of
+//	    Appendix A.2;
+//	K — the average number of tuples inserted into Vspj per base diff
+//	    tuple (the insert-workload penalty of Section 6.2).
+type Params struct {
+	A float64
+	P float64
+	G float64
+	K float64
+}
+
+// SpeedupSPJUpdate is equation (1): the speedup ratio for SPJ views under
+// update diffs on non-conditional attributes,
+//
+//	speedup = (a + 2p) / (1 + p).
+func SpeedupSPJUpdate(p Params) float64 {
+	return (p.A + 2*p.P) / (1 + p.P)
+}
+
+// SpeedupSPJOther is the Section 6.1(b) bound for other diff types on SPJ
+// views: at least min((a+2p)/(1+p), 1).
+func SpeedupSPJOther(p Params) float64 {
+	s := SpeedupSPJUpdate(p)
+	if s < 1 {
+		return s
+	}
+	return 1
+}
+
+// SpeedupAggUpdate is equation (2): the speedup ratio for aggregate views
+// (with the intermediate cache) under update diffs on non-conditional
+// attributes,
+//
+//	speedup = (a + 2pg) / (1 + p + 2pg).
+func SpeedupAggUpdate(p Params) float64 {
+	return (p.A + 2*p.P*p.G) / (1 + p.P + 2*p.P*p.G)
+}
+
+// SpeedupAggInsert is the Section 6.2(b) insert-diff ratio
+//
+//	speedup = (a + 2pg) / (a + k + 2pg),
+//
+// which is below 1 (the cache must absorb the inserted tuples) but whose
+// loss is bounded by one access per inserted tuple.
+func SpeedupAggInsert(p Params) float64 {
+	return (p.A + 2*p.P*p.G) / (p.A + p.K + 2*p.P*p.G)
+}
+
+// SpeedupAggOther is the Section 6.2(b) lower bound for mixed diff types.
+func SpeedupAggOther(p Params) float64 {
+	u := SpeedupAggUpdate(p)
+	i := SpeedupAggInsert(p)
+	if u < i {
+		return u
+	}
+	return i
+}
+
+// TupleCostSPJ is the Table 2 tuple-based cost per base diff tuple:
+// a (diff computation) + p (view index lookups) + p (view tuple accesses).
+func TupleCostSPJ(p Params) float64 { return p.A + 2*p.P }
+
+// IDCostSPJ is the Table 2 ID-based cost per base diff tuple: one view
+// index lookup plus p view tuple accesses (diff computation is free).
+func IDCostSPJ(p Params) float64 { return 1 + p.P }
+
+// TupleCostAgg is the Table 3 tuple-based cost per base diff tuple:
+// a + pg view index lookups + pg view tuple accesses.
+func TupleCostAgg(p Params) float64 { return p.A + 2*p.P*p.G }
+
+// IDCostAgg is the Table 3 ID-based cost per base diff tuple: one cache
+// index lookup + p cache tuple accesses + pg view lookups + pg view tuple
+// accesses.
+func IDCostAgg(p Params) float64 { return 1 + p.P + 2*p.P*p.G }
+
+// LowerBoundA is the Appendix A.2 argument that a ≥ 1 + p for aggregate
+// views over at least one join: each tuple-based diff tuple needs at least
+// one index access plus p tuple accesses to reconstruct its joined rows.
+func LowerBoundA(p Params) float64 { return 1 + p.P }
+
+// Measured derives model parameters from a measured pair of runs.
+//
+//	diffTuples   — |D_R|, the base-table diff size;
+//	viewTouched  — |D_V|, view rows modified;
+//	idDiffTuples — |∆_V|, i-diff tuples applied to the view;
+//	tupleCompute — access count of the tuple-based view-diff computation.
+func Measured(diffTuples, viewTouched, idDiffTuples int, tupleCompute int64) Params {
+	p := Params{G: 1, K: 0}
+	if idDiffTuples > 0 {
+		p.P = float64(viewTouched) / float64(idDiffTuples)
+	}
+	if diffTuples > 0 {
+		p.A = float64(tupleCompute) / float64(diffTuples)
+	}
+	return p
+}

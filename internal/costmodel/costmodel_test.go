@@ -1,0 +1,164 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSpeedupSPJUpdateFormula(t *testing.T) {
+	// The paper's discussion: with a = 3 accesses per diff tuple and p = 1,
+	// the ID-based approach wins 2.5×.
+	got := SpeedupSPJUpdate(Params{A: 3, P: 1})
+	if !almost(got, 2.5, 1e-9) {
+		t.Fatalf("speedup = %g, want 2.5", got)
+	}
+}
+
+// Property (Section 6.1): when a ≥ 1 the ID-based approach never loses on
+// non-conditional SPJ updates.
+func TestSPJNeverLosesWhenAAtLeastOne(t *testing.T) {
+	f := func(aRaw, pRaw uint8) bool {
+		a := 1 + float64(aRaw)        // a ≥ 1
+		p := 0.01 + float64(pRaw)/8.0 // p > 0
+		return SpeedupSPJUpdate(Params{A: a, P: p}) >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's corner case: the tuple-based approach can only win when
+// a < 1 - p (shared join values plus severe overestimation).
+func TestSPJCornerCase(t *testing.T) {
+	s := SpeedupSPJUpdate(Params{A: 0.2, P: 0.5})
+	if s >= 1 {
+		t.Fatalf("a=0.2, p=0.5 should favor tuple-based, got %g", s)
+	}
+	if SpeedupSPJOther(Params{A: 10, P: 1}) != 1 {
+		t.Fatal("insert-heavy bound must cap at 1")
+	}
+}
+
+// Property (Appendix A.2): for aggregate views a ≥ 1+p implies the
+// ID-based approach never loses on updates.
+func TestAggNeverLosesGivenLowerBound(t *testing.T) {
+	f := func(pRaw, gRaw, extraRaw uint8) bool {
+		p := 0.01 + float64(pRaw)/8.0
+		g := 0.01 + float64(gRaw)/64.0
+		if g > 1 {
+			g = 1 // grouping can only compress
+		}
+		a := LowerBoundA(Params{P: p}) + float64(extraRaw)/4.0
+		return SpeedupAggUpdate(Params{A: a, P: p, G: g}) >= 1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Section 6.2(b): the insert-diff loss is bounded — the ratio approaches 1
+// as k shrinks and is bounded below by a/(a+k) behaviour.
+func TestAggInsertLossBounded(t *testing.T) {
+	p := Params{A: 5, P: 1, G: 0.5, K: 1}
+	s := SpeedupAggInsert(p)
+	if s >= 1 {
+		t.Fatalf("insert speedup must be < 1, got %g", s)
+	}
+	if s < (p.A+2*p.P*p.G)/(p.A+p.K+2*p.P*p.G)-1e-12 {
+		t.Fatal("formula mismatch")
+	}
+	// The loss is exactly k extra accesses in the denominator.
+	noLoss := SpeedupAggInsert(Params{A: 5, P: 1, G: 0.5, K: 0})
+	if !almost(noLoss, 1, 1e-9) {
+		t.Fatalf("k=0 must give ratio 1, got %g", noLoss)
+	}
+}
+
+func TestOtherDiffBounds(t *testing.T) {
+	// SpeedupSPJOther: capped at 1 when updates would win, pass-through
+	// when below 1.
+	if got := SpeedupSPJOther(Params{A: 0.1, P: 0.5}); got >= 1 {
+		t.Fatalf("corner case must stay below 1: %g", got)
+	}
+	// SpeedupAggOther: the min of the update and insert ratios.
+	p := Params{A: 5, P: 1, G: 0.5, K: 3}
+	u, i := SpeedupAggUpdate(p), SpeedupAggInsert(p)
+	got := SpeedupAggOther(p)
+	want := u
+	if i < u {
+		want = i
+	}
+	if !almost(got, want, 1e-12) {
+		t.Fatalf("SpeedupAggOther = %g, want min(%g, %g)", got, u, i)
+	}
+	// And the symmetric branch.
+	p2 := Params{A: 100, P: 1, G: 0.5, K: 0.01}
+	if got := SpeedupAggOther(p2); !almost(got, SpeedupAggInsert(p2), 1e-12) && !almost(got, SpeedupAggUpdate(p2), 1e-12) {
+		t.Fatalf("SpeedupAggOther branch = %g", got)
+	}
+}
+
+func TestCostTables(t *testing.T) {
+	p := Params{A: 4, P: 2, G: 0.5}
+	if got := TupleCostSPJ(p); !almost(got, 8, 1e-9) {
+		t.Errorf("tuple SPJ cost = %g", got)
+	}
+	if got := IDCostSPJ(p); !almost(got, 3, 1e-9) {
+		t.Errorf("ID SPJ cost = %g", got)
+	}
+	if got := TupleCostAgg(p); !almost(got, 6, 1e-9) {
+		t.Errorf("tuple agg cost = %g", got)
+	}
+	if got := IDCostAgg(p); !almost(got, 5, 1e-9) {
+		t.Errorf("ID agg cost = %g", got)
+	}
+	// Consistency: the speedups are the cost ratios.
+	if !almost(SpeedupSPJUpdate(p), TupleCostSPJ(p)/IDCostSPJ(p), 1e-9) {
+		t.Error("SPJ speedup must equal the cost ratio")
+	}
+	if !almost(SpeedupAggUpdate(p), TupleCostAgg(p)/IDCostAgg(p), 1e-9) {
+		t.Error("agg speedup must equal the cost ratio")
+	}
+}
+
+func TestMeasured(t *testing.T) {
+	p := Measured(100, 500, 100, 30000)
+	if !almost(p.P, 5, 1e-9) || !almost(p.A, 300, 1e-9) {
+		t.Fatalf("measured params = %+v", p)
+	}
+	// Degenerate inputs do not divide by zero.
+	z := Measured(0, 0, 0, 0)
+	if z.P != 0 || z.A != 0 {
+		t.Fatalf("zero params = %+v", z)
+	}
+}
+
+// Monotonicity properties of the model.
+func TestModelMonotonicity(t *testing.T) {
+	// Speedup grows with a (more complex queries → bigger win), matching
+	// the varying-joins experiment.
+	prev := 0.0
+	for a := 1.0; a <= 64; a *= 2 {
+		s := SpeedupSPJUpdate(Params{A: a, P: 1})
+		if s <= prev {
+			t.Fatalf("speedup must grow with a: %g then %g", prev, s)
+		}
+		prev = s
+	}
+	// Agg speedup shrinks as p grows with fixed a (bigger cache to touch),
+	// matching the varying-selectivity experiment.
+	prevS := math.Inf(1)
+	for p := 0.5; p <= 32; p *= 2 {
+		s := SpeedupAggUpdate(Params{A: 1 + p + 2, P: p, G: 0.2})
+		_ = s
+		// With a pinned slightly above its lower bound, growing p drives
+		// the ratio toward 1 from above.
+		if s > prevS+1e-9 {
+			t.Fatalf("agg speedup must not grow with p here: %g then %g", prevS, s)
+		}
+		prevS = s
+	}
+}

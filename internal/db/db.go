@@ -1,0 +1,223 @@
+// Package db provides the catalog and modification log of idIVM: a set of
+// named stored tables (base tables, materialized views and caches), a
+// trigger-style modification logger, and the pre-/post-state epoch
+// management that deferred IVM requires (Section 3 of the paper).
+//
+// Base-table modifications are applied eagerly, as in a live DBMS. The
+// first modification to a table after the last maintenance opens an epoch
+// that freezes the table's pre-state (the state the views were last
+// consistent with); maintenance consumes the log and closes the epochs.
+package db
+
+import (
+	"fmt"
+
+	"idivm/internal/rel"
+)
+
+// ModKind classifies a logged modification.
+type ModKind uint8
+
+// The three modification kinds.
+const (
+	ModInsert ModKind = iota
+	ModDelete
+	ModUpdate
+)
+
+// String returns "+", "-" or "u".
+func (k ModKind) String() string {
+	switch k {
+	case ModInsert:
+		return "+"
+	case ModDelete:
+		return "-"
+	default:
+		return "u"
+	}
+}
+
+// Modification is one logged base-table change with full pre/post images,
+// as a trigger-based logger would capture (Section 5).
+type Modification struct {
+	Kind  ModKind
+	Table string
+	Pre   rel.Tuple // full pre-image (delete, update)
+	Post  rel.Tuple // full post-image (insert, update)
+}
+
+// Database is the catalog: named stored tables plus the modification log.
+// It implements algebra.Env (with no relation bindings; the IVM executor
+// layers bindings on top).
+type Database struct {
+	tables  map[string]*rel.Table
+	order   []string
+	counter rel.CostCounter
+	log     []Modification
+	logging map[string]bool // tables whose changes are logged (base tables of views)
+}
+
+// New creates an empty database.
+func New() *Database {
+	return &Database{tables: make(map[string]*rel.Table), logging: make(map[string]bool)}
+}
+
+// Counter returns the database-wide cost counter; all registered tables
+// charge to it.
+func (d *Database) Counter() *rel.CostCounter { return &d.counter }
+
+// CreateTable registers a new stored table with the given bare-name schema.
+func (d *Database) CreateTable(name string, schema rel.Schema) (*rel.Table, error) {
+	if _, dup := d.tables[name]; dup {
+		return nil, fmt.Errorf("db: table %q already exists", name)
+	}
+	t, err := rel.NewTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	t.SetCounter(&d.counter)
+	d.tables[name] = t
+	d.order = append(d.order, name)
+	return t, nil
+}
+
+// MustCreateTable is CreateTable that panics on error.
+func (d *Database) MustCreateTable(name string, schema rel.Schema) *rel.Table {
+	t, err := d.CreateTable(name, schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// AddTable registers an existing table (e.g. a materialized view built by
+// the IVM layer) under its own name.
+func (d *Database) AddTable(t *rel.Table) error {
+	if _, dup := d.tables[t.Name()]; dup {
+		return fmt.Errorf("db: table %q already exists", t.Name())
+	}
+	t.SetCounter(&d.counter)
+	d.tables[t.Name()] = t
+	d.order = append(d.order, t.Name())
+	return nil
+}
+
+// DropTable removes a table from the catalog.
+func (d *Database) DropTable(name string) {
+	if _, ok := d.tables[name]; !ok {
+		return
+	}
+	delete(d.tables, name)
+	for i, n := range d.order {
+		if n == name {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Table implements algebra.Env.
+func (d *Database) Table(name string) (*rel.Table, error) {
+	t, ok := d.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("db: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Rel implements algebra.Env; a bare database has no relation bindings.
+func (d *Database) Rel(name string) (*rel.Relation, error) {
+	return nil, fmt.Errorf("db: no relation binding for %q", name)
+}
+
+// TableNames returns the registered table names in creation order.
+func (d *Database) TableNames() []string { return append([]string(nil), d.order...) }
+
+// EnableLogging marks a table's modifications for logging. The IVM system
+// enables it for every base table of a registered view.
+func (d *Database) EnableLogging(table string) { d.logging[table] = true }
+
+// LoggingEnabled reports whether modifications to the table are logged.
+func (d *Database) LoggingEnabled(table string) bool { return d.logging[table] }
+
+func (d *Database) beginEpochIfLogged(t *rel.Table) {
+	if d.logging[t.Name()] && !t.InEpoch() {
+		t.BeginEpoch()
+	}
+}
+
+// Insert applies and logs an insertion into a base table.
+func (d *Database) Insert(table string, row rel.Tuple) error {
+	t, err := d.Table(table)
+	if err != nil {
+		return err
+	}
+	d.beginEpochIfLogged(t)
+	if err := t.Insert(row); err != nil {
+		return err
+	}
+	if d.logging[table] {
+		d.log = append(d.log, Modification{Kind: ModInsert, Table: table, Post: row.Clone()})
+	}
+	return nil
+}
+
+// Delete applies and logs a deletion by primary key; it reports whether a
+// row was removed.
+func (d *Database) Delete(table string, key []rel.Value) (bool, error) {
+	t, err := d.Table(table)
+	if err != nil {
+		return false, err
+	}
+	d.beginEpochIfLogged(t)
+	pre, ok := t.Get(rel.StatePost, key)
+	if !ok {
+		return false, nil
+	}
+	preCopy := pre.Clone()
+	if !t.DeleteKey(key) {
+		return false, nil
+	}
+	if d.logging[table] {
+		d.log = append(d.log, Modification{Kind: ModDelete, Table: table, Pre: preCopy})
+	}
+	return true, nil
+}
+
+// Update applies and logs an update by primary key; it reports whether a
+// row was updated.
+func (d *Database) Update(table string, key []rel.Value, setAttrs []string, setVals []rel.Value) (bool, error) {
+	t, err := d.Table(table)
+	if err != nil {
+		return false, err
+	}
+	d.beginEpochIfLogged(t)
+	pre, ok := t.Get(rel.StatePost, key)
+	if !ok {
+		return false, nil
+	}
+	preCopy := pre.Clone()
+	changed, err := t.UpdateKey(key, setAttrs, setVals)
+	if err != nil || !changed {
+		return changed, err
+	}
+	post, _ := t.Get(rel.StatePost, key)
+	if d.logging[table] {
+		d.log = append(d.log, Modification{Kind: ModUpdate, Table: table, Pre: preCopy, Post: post.Clone()})
+	}
+	return true, nil
+}
+
+// Log returns the modifications logged since the last ResetLog.
+func (d *Database) Log() []Modification { return d.log }
+
+// ResetLog clears the modification log and closes the epochs of all
+// logged base tables: the views are now consistent with the post-state.
+func (d *Database) ResetLog() {
+	d.log = nil
+	for _, name := range d.order {
+		if d.logging[name] {
+			d.tables[name].EndEpoch()
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package db
+
+import (
+	"testing"
+
+	"idivm/internal/rel"
+)
+
+func TestAddTableAndCounterSharing(t *testing.T) {
+	d := New()
+	ext := rel.MustNewTable("ext", rel.NewSchema([]string{"k"}, []string{"k"}))
+	if err := d.AddTable(ext); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddTable(ext); err == nil {
+		t.Fatal("duplicate AddTable must fail")
+	}
+	ext.MustInsert(rel.Int(1))
+	d.Counter().Reset()
+	ext.Scan(rel.StatePost)
+	if d.Counter().TupleReads != 1 {
+		t.Fatal("added table must share the database counter")
+	}
+}
+
+func TestUpdateMissingRow(t *testing.T) {
+	d := New()
+	d.MustCreateTable("t", rel.NewSchema([]string{"k", "v"}, []string{"k"}))
+	d.EnableLogging("t")
+	ok, err := d.Update("t", []rel.Value{rel.Int(1)}, []string{"v"}, []rel.Value{rel.Int(2)})
+	if err != nil || ok {
+		t.Fatalf("update missing: ok=%v err=%v", ok, err)
+	}
+	if len(d.Log()) != 0 {
+		t.Fatal("missing update must not log")
+	}
+}
+
+func TestModKindStrings(t *testing.T) {
+	if ModInsert.String() != "+" || ModDelete.String() != "-" || ModUpdate.String() != "u" {
+		t.Fatal("mod kind strings")
+	}
+}
+
+func TestRelBindingRefused(t *testing.T) {
+	d := New()
+	if _, err := d.Rel("anything"); err == nil {
+		t.Fatal("bare database must refuse relation bindings")
+	}
+}
+
+func TestMustCreateTablePanics(t *testing.T) {
+	d := New()
+	d.MustCreateTable("t", rel.NewSchema([]string{"k"}, []string{"k"}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate MustCreateTable")
+		}
+	}()
+	d.MustCreateTable("t", rel.NewSchema([]string{"k"}, []string{"k"}))
+}
+
+func TestLoggingOnlyAppliesToEnabledTables(t *testing.T) {
+	d := New()
+	d.MustCreateTable("a", rel.NewSchema([]string{"k"}, []string{"k"}))
+	d.MustCreateTable("b", rel.NewSchema([]string{"k"}, []string{"k"}))
+	d.EnableLogging("a")
+	if !d.LoggingEnabled("a") || d.LoggingEnabled("b") {
+		t.Fatal("LoggingEnabled misreports")
+	}
+	if err := d.Insert("a", rel.Tuple{rel.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert("b", rel.Tuple{rel.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Log()) != 1 {
+		t.Fatalf("log = %d entries, want 1", len(d.Log()))
+	}
+	ta, _ := d.Table("a")
+	tb, _ := d.Table("b")
+	if !ta.InEpoch() || tb.InEpoch() {
+		t.Fatal("epoch state wrong")
+	}
+	d.ResetLog()
+}
+
+func TestInsertUnknownTable(t *testing.T) {
+	d := New()
+	if err := d.Insert("ghost", rel.Tuple{rel.Int(1)}); err == nil {
+		t.Fatal("insert into unknown table must fail")
+	}
+	if _, err := d.Delete("ghost", []rel.Value{rel.Int(1)}); err == nil {
+		t.Fatal("delete from unknown table must fail")
+	}
+	if _, err := d.Update("ghost", []rel.Value{rel.Int(1)}, nil, nil); err == nil {
+		t.Fatal("update of unknown table must fail")
+	}
+}

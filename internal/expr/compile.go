@@ -1,0 +1,226 @@
+package expr
+
+import (
+	"fmt"
+
+	"idivm/internal/rel"
+)
+
+// Compiled is an expression bound to a schema, evaluated directly against
+// tuples of that schema.
+type Compiled struct {
+	expr   Expr
+	schema rel.Schema
+	idx    map[string]int
+}
+
+// Compile binds e to schema, resolving every referenced column. It returns
+// an error naming the first unresolved column.
+func Compile(e Expr, schema rel.Schema) (*Compiled, error) {
+	idx := make(map[string]int)
+	for _, c := range e.Cols() {
+		j := schema.Index(c)
+		if j < 0 {
+			return nil, fmt.Errorf("expr: column %q not in schema %v", c, schema.Attrs)
+		}
+		idx[c] = j
+	}
+	return &Compiled{expr: e, schema: schema, idx: idx}, nil
+}
+
+// MustCompile is Compile that panics on error, for static plans and tests.
+func MustCompile(e Expr, schema rel.Schema) *Compiled {
+	c, err := Compile(e, schema)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Eval evaluates the bound expression against a tuple of the bound schema.
+func (c *Compiled) Eval(t rel.Tuple) rel.Value {
+	return c.expr.eval(func(name string) rel.Value {
+		return t[c.idx[name]]
+	})
+}
+
+// EvalBool evaluates the expression as a predicate.
+func (c *Compiled) EvalBool(t rel.Tuple) bool { return c.Eval(t).AsBool() }
+
+// EvalPair evaluates an expression over the concatenation of two tuples
+// under a pair schema created by CompilePair.
+type CompiledPair struct {
+	expr Expr
+	idx  map[string]pairRef
+}
+
+type pairRef struct {
+	left bool
+	pos  int
+}
+
+// CompilePair binds e against the concatenation of two schemas (left then
+// right), as needed by join predicates, without materializing concatenated
+// tuples. Columns present in both schemas resolve to the left side.
+func CompilePair(e Expr, left, right rel.Schema) (*CompiledPair, error) {
+	idx := make(map[string]pairRef)
+	for _, c := range e.Cols() {
+		if j := left.Index(c); j >= 0 {
+			idx[c] = pairRef{left: true, pos: j}
+			continue
+		}
+		if j := right.Index(c); j >= 0 {
+			idx[c] = pairRef{left: false, pos: j}
+			continue
+		}
+		return nil, fmt.Errorf("expr: column %q not in %v or %v", c, left.Attrs, right.Attrs)
+	}
+	return &CompiledPair{expr: e, idx: idx}, nil
+}
+
+// Eval evaluates against a (left, right) tuple pair.
+func (c *CompiledPair) Eval(l, r rel.Tuple) rel.Value {
+	return c.expr.eval(func(name string) rel.Value {
+		ref := c.idx[name]
+		if ref.left {
+			return l[ref.pos]
+		}
+		return r[ref.pos]
+	})
+}
+
+// EvalBool evaluates the pair expression as a predicate.
+func (c *CompiledPair) EvalBool(l, r rel.Tuple) bool { return c.Eval(l, r).AsBool() }
+
+// Rename returns a copy of e with column names substituted per the map.
+// Names absent from the map are kept. It is used by the IVM rule engine to
+// retarget predicates at the pre-/post-state columns of diff tables.
+func Rename(e Expr, m map[string]string) Expr {
+	switch x := e.(type) {
+	case Col:
+		if n, ok := m[x.Name]; ok {
+			return Col{Name: n}
+		}
+		return x
+	case Lit:
+		return x
+	case Cmp:
+		return Cmp{Op: x.Op, L: Rename(x.L, m), R: Rename(x.R, m)}
+	case AndExpr:
+		ts := make([]Expr, len(x.Terms))
+		for i, t := range x.Terms {
+			ts[i] = Rename(t, m)
+		}
+		return AndExpr{Terms: ts}
+	case OrExpr:
+		ts := make([]Expr, len(x.Terms))
+		for i, t := range x.Terms {
+			ts[i] = Rename(t, m)
+		}
+		return OrExpr{Terms: ts}
+	case NotExpr:
+		return NotExpr{E: Rename(x.E, m)}
+	case Arith:
+		return Arith{Op: x.Op, L: Rename(x.L, m), R: Rename(x.R, m)}
+	case Func:
+		as := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			as[i] = Rename(a, m)
+		}
+		return Func{Name: x.Name, Args: as}
+	case IsNullExpr:
+		return IsNullExpr{E: Rename(x.E, m)}
+	default:
+		return e
+	}
+}
+
+// Subst returns a copy of e with column references replaced by whole
+// subexpressions per the map. The plan minimizer uses it to merge stacked
+// projections.
+func Subst(e Expr, m map[string]Expr) Expr {
+	switch x := e.(type) {
+	case Col:
+		if n, ok := m[x.Name]; ok {
+			return n
+		}
+		return x
+	case Lit:
+		return x
+	case Cmp:
+		return Cmp{Op: x.Op, L: Subst(x.L, m), R: Subst(x.R, m)}
+	case AndExpr:
+		ts := make([]Expr, len(x.Terms))
+		for i, t := range x.Terms {
+			ts[i] = Subst(t, m)
+		}
+		return AndExpr{Terms: ts}
+	case OrExpr:
+		ts := make([]Expr, len(x.Terms))
+		for i, t := range x.Terms {
+			ts[i] = Subst(t, m)
+		}
+		return OrExpr{Terms: ts}
+	case NotExpr:
+		return NotExpr{E: Subst(x.E, m)}
+	case Arith:
+		return Arith{Op: x.Op, L: Subst(x.L, m), R: Subst(x.R, m)}
+	case Func:
+		as := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			as[i] = Subst(a, m)
+		}
+		return Func{Name: x.Name, Args: as}
+	case IsNullExpr:
+		return IsNullExpr{E: Subst(x.E, m)}
+	default:
+		return e
+	}
+}
+
+// Conjuncts flattens e into its top-level AND terms.
+func Conjuncts(e Expr) []Expr {
+	if a, ok := e.(AndExpr); ok {
+		var out []Expr
+		for _, t := range a.Terms {
+			out = append(out, Conjuncts(t)...)
+		}
+		return out
+	}
+	if IsTrueLit(e) {
+		return nil
+	}
+	return []Expr{e}
+}
+
+// EquiPairs extracts the equality pairs (leftCol, rightCol) from the
+// conjuncts of a join predicate whose sides resolve to the given schemas,
+// plus the residual non-equi predicate (TRUE when none). This drives
+// index-based join evaluation.
+func EquiPairs(e Expr, left, right rel.Schema) (lcols, rcols []string, residual Expr) {
+	var rest []Expr
+	for _, c := range Conjuncts(e) {
+		if cmp, ok := c.(Cmp); ok && cmp.Op == EQ {
+			lc, lok := cmp.L.(Col)
+			rc, rok := cmp.R.(Col)
+			if lok && rok {
+				switch {
+				case left.Has(lc.Name) && right.Has(rc.Name) && !left.Has(rc.Name):
+					lcols = append(lcols, lc.Name)
+					rcols = append(rcols, rc.Name)
+					continue
+				case right.Has(lc.Name) && left.Has(rc.Name) && !left.Has(lc.Name):
+					lcols = append(lcols, rc.Name)
+					rcols = append(rcols, lc.Name)
+					continue
+				case left.Has(lc.Name) && right.Has(rc.Name):
+					lcols = append(lcols, lc.Name)
+					rcols = append(rcols, rc.Name)
+					continue
+				}
+			}
+		}
+		rest = append(rest, c)
+	}
+	return lcols, rcols, And(rest...)
+}

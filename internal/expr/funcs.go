@@ -1,0 +1,117 @@
+package expr
+
+import (
+	"math"
+	"strings"
+
+	"idivm/internal/rel"
+)
+
+// builtins is the scalar function library available to generalized
+// projections (the π with functions of QSPJADU).
+var builtins = map[string]func([]rel.Value) rel.Value{
+	"abs": func(a []rel.Value) rel.Value {
+		if len(a) != 1 || !a[0].IsNumeric() {
+			return rel.Null()
+		}
+		if a[0].Kind == rel.KindInt {
+			v := a[0].AsInt()
+			if v < 0 {
+				v = -v
+			}
+			return rel.Int(v)
+		}
+		return rel.Float(math.Abs(a[0].AsFloat()))
+	},
+	"lower": func(a []rel.Value) rel.Value {
+		if len(a) != 1 || a[0].Kind != rel.KindString {
+			return rel.Null()
+		}
+		return rel.String(strings.ToLower(a[0].Text()))
+	},
+	"upper": func(a []rel.Value) rel.Value {
+		if len(a) != 1 || a[0].Kind != rel.KindString {
+			return rel.Null()
+		}
+		return rel.String(strings.ToUpper(a[0].Text()))
+	},
+	"length": func(a []rel.Value) rel.Value {
+		if len(a) != 1 || a[0].Kind != rel.KindString {
+			return rel.Null()
+		}
+		return rel.Int(int64(len(a[0].Text())))
+	},
+	"concat": func(a []rel.Value) rel.Value {
+		var b strings.Builder
+		for _, v := range a {
+			if v.IsNull() {
+				return rel.Null()
+			}
+			switch v.Kind {
+			case rel.KindString:
+				b.WriteString(v.Text())
+			default:
+				b.WriteString(strings.Trim(v.String(), `"`))
+			}
+		}
+		return rel.String(b.String())
+	},
+	"mod": func(a []rel.Value) rel.Value {
+		if len(a) != 2 || a[0].Kind != rel.KindInt || a[1].Kind != rel.KindInt || a[1].AsInt() == 0 {
+			return rel.Null()
+		}
+		return rel.Int(a[0].AsInt() % a[1].AsInt())
+	},
+	"round": func(a []rel.Value) rel.Value {
+		if len(a) != 1 || !a[0].IsNumeric() {
+			return rel.Null()
+		}
+		return rel.Float(math.Round(a[0].AsFloat()))
+	},
+	// notnull(x) is 1 when x is non-NULL and 0 otherwise; the incremental
+	// COUNT rules use it to track per-tuple count contributions.
+	"notnull": func(a []rel.Value) rel.Value {
+		if len(a) != 1 || a[0].IsNull() {
+			return rel.Int(0)
+		}
+		return rel.Int(1)
+	},
+	"coalesce": func(a []rel.Value) rel.Value {
+		for _, v := range a {
+			if !v.IsNull() {
+				return v
+			}
+		}
+		return rel.Null()
+	},
+	"greatest": func(a []rel.Value) rel.Value {
+		if len(a) == 0 {
+			return rel.Null()
+		}
+		best := a[0]
+		for _, v := range a[1:] {
+			if c, ok := v.Compare(best); ok && c > 0 {
+				best = v
+			}
+		}
+		return best
+	},
+	"least": func(a []rel.Value) rel.Value {
+		if len(a) == 0 {
+			return rel.Null()
+		}
+		best := a[0]
+		for _, v := range a[1:] {
+			if c, ok := v.Compare(best); ok && c < 0 {
+				best = v
+			}
+		}
+		return best
+	},
+}
+
+// HasBuiltin reports whether a scalar function with the given name exists.
+func HasBuiltin(name string) bool {
+	_, ok := builtins[strings.ToLower(name)]
+	return ok
+}

@@ -1,0 +1,77 @@
+package ivm_test
+
+import (
+	"testing"
+
+	"idivm/internal/ivm"
+	"idivm/internal/workload"
+)
+
+// runAblation maintains the aggregate view once under the given options
+// and returns the access count, verifying consistency.
+func runAblation(t *testing.T, opts ivm.GenOptions) int64 {
+	t.Helper()
+	p := workload.Defaults(1200)
+	p.Devices, p.Fanout, p.DiffSize = 1200, 5, 40
+	ds := workload.Build(p)
+	s := ivm.NewSystem(ds.DB)
+	if _, err := s.RegisterView("V", ds.AggPlan(), ivm.ModeID, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.ApplyPriceUpdates(); err != nil {
+		t.Fatal(err)
+	}
+	ds.DB.Counter().Reset()
+	reports, err := s.MaintainAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckConsistent("V"); err != nil {
+		t.Fatal(err)
+	}
+	return reports[0].Phases.Total().Total()
+}
+
+// Ablation 1 (Section 6.2): without the intermediate cache the ID-based
+// rules must consult the base tables, so update maintenance gets more
+// expensive — the cache is load-bearing.
+func TestAblationCache(t *testing.T) {
+	withCache := runAblation(t, ivm.GenOptions{})
+	noCache := runAblation(t, ivm.GenOptions{NoCache: true})
+	t.Logf("with cache: %d accesses, without: %d", withCache, noCache)
+	if noCache <= withCache {
+		t.Fatalf("disabling the cache should cost more: with=%d without=%d", withCache, noCache)
+	}
+}
+
+// Ablation 2 (pass 4): disabling minimization must never *reduce* cost,
+// and the scripts stay correct either way.
+func TestAblationMinimization(t *testing.T) {
+	minimized := runAblation(t, ivm.GenOptions{})
+	raw := runAblation(t, ivm.GenOptions{NoMinimize: true})
+	t.Logf("minimized: %d accesses, raw: %d", minimized, raw)
+	if minimized > raw {
+		t.Fatalf("minimization made the script worse: %d > %d", minimized, raw)
+	}
+}
+
+// Both ablations combined still maintain correctly.
+func TestAblationCombined(t *testing.T) {
+	_ = runAblation(t, ivm.GenOptions{NoCache: true, NoMinimize: true})
+}
+
+// The no-cache script must declare no caches at all, including for
+// interior aggregates.
+func TestAblationNoCacheScriptShape(t *testing.T) {
+	p := workload.Defaults(200)
+	p.Devices, p.Fanout, p.DiffSize = 200, 3, 5
+	ds := workload.Build(p)
+	s := ivm.NewSystem(ds.DB)
+	v, err := s.RegisterView("V", ds.AggPlan(), ivm.ModeID, ivm.GenOptions{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Script.Caches) != 0 {
+		t.Fatalf("NoCache script declares caches: %v", v.Script.Caches)
+	}
+}

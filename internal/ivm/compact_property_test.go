@@ -1,0 +1,108 @@
+package ivm
+
+import (
+	"math/rand"
+	"testing"
+
+	"idivm/internal/db"
+	"idivm/internal/rel"
+)
+
+// Property: for any valid modification sequence, CompactLog's net changes,
+// replayed onto the initial instance, produce exactly the final instance —
+// and the net changes are minimal (at most one change per key).
+func TestCompactLogReplaysToFinalState(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	schema := rel.NewSchema([]string{"k", "v"}, []string{"k"})
+
+	for trial := 0; trial < 60; trial++ {
+		// Initial instance.
+		initial := map[int64]int64{}
+		for i := int64(0); i < 10; i++ {
+			if rng.Intn(2) == 0 {
+				initial[i] = int64(rng.Intn(100))
+			}
+		}
+		state := map[int64]int64{}
+		for k, v := range initial {
+			state[k] = v
+		}
+
+		// A random valid modification sequence with its log.
+		var log []db.Modification
+		for step := 0; step < 30; step++ {
+			k := int64(rng.Intn(10))
+			_, live := state[k]
+			switch {
+			case !live:
+				v := int64(rng.Intn(100))
+				state[k] = v
+				log = append(log, db.Modification{Kind: db.ModInsert, Table: "t",
+					Post: rel.Tuple{rel.Int(k), rel.Int(v)}})
+			case rng.Intn(2) == 0:
+				pre := state[k]
+				delete(state, k)
+				log = append(log, db.Modification{Kind: db.ModDelete, Table: "t",
+					Pre: rel.Tuple{rel.Int(k), rel.Int(pre)}})
+			default:
+				pre := state[k]
+				v := int64(rng.Intn(100))
+				state[k] = v
+				log = append(log, db.Modification{Kind: db.ModUpdate, Table: "t",
+					Pre:  rel.Tuple{rel.Int(k), rel.Int(pre)},
+					Post: rel.Tuple{rel.Int(k), rel.Int(v)}})
+			}
+		}
+
+		changes, err := CompactLog(log, func(string) (rel.Schema, error) { return schema, nil })
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Replay the net changes onto the initial instance.
+		replayed := map[int64]int64{}
+		for k, v := range initial {
+			replayed[k] = v
+		}
+		touched := map[int64]int{}
+		if nc := changes["t"]; nc != nil {
+			for _, row := range nc.Inserts {
+				k := row[0].AsInt()
+				touched[k]++
+				if _, dup := replayed[k]; dup {
+					t.Fatalf("trial %d: net insert of live key %d", trial, k)
+				}
+				replayed[k] = row[1].AsInt()
+			}
+			for _, row := range nc.Deletes {
+				k := row[0].AsInt()
+				touched[k]++
+				if cur, ok := replayed[k]; !ok || cur != row[1].AsInt() {
+					t.Fatalf("trial %d: net delete pre-image mismatch for %d", trial, k)
+				}
+				delete(replayed, k)
+			}
+			for _, up := range nc.Updates {
+				k := up.Pre[0].AsInt()
+				touched[k]++
+				if cur, ok := replayed[k]; !ok || cur != up.Pre[1].AsInt() {
+					t.Fatalf("trial %d: net update pre-image mismatch for %d", trial, k)
+				}
+				replayed[k] = up.Post[1].AsInt()
+			}
+		}
+		for k, n := range touched {
+			if n > 1 {
+				t.Fatalf("trial %d: key %d has %d net changes, want ≤ 1", trial, k, n)
+			}
+		}
+		if len(replayed) != len(state) {
+			t.Fatalf("trial %d: replay size %d, want %d", trial, len(replayed), len(state))
+		}
+		for k, v := range state {
+			if replayed[k] != v {
+				t.Fatalf("trial %d: key %d = %d, want %d", trial, k, replayed[k], v)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package ivm_test
+
+import (
+	"testing"
+
+	"idivm/internal/algebra"
+	"idivm/internal/ivm"
+	"idivm/internal/rel"
+)
+
+// DISTINCT views are grouping views without aggregates (the δ-as-γ
+// encoding the paper describes for duplicate elimination in Section 4).
+func TestDistinctView(t *testing.T) {
+	for _, mode := range []ivm.Mode{ivm.ModeID, ivm.ModeTuple} {
+		t.Run(mode.String(), func(t *testing.T) {
+			d := fig2DB(t)
+			// DISTINCT pid over devices_parts.
+			dp, _ := d.Table("devices_parts")
+			sdp := algebra.NewScan("devices_parts", "", dp.Schema())
+			plan := algebra.NewGroupBy(sdp, []string{"devices_parts.pid"}, nil)
+
+			s := ivm.NewSystem(d)
+			s.SelfCheck = true
+			register(t, s, "used_pids", plan, mode)
+			vt, _ := d.Table("used_pids")
+			if vt.Len() != 2 {
+				t.Fatalf("distinct pids = %d, want 2", vt.Len())
+			}
+
+			// Adding another containment of P1 must not duplicate it.
+			if err := d.Insert("devices_parts", rel.Tuple{rel.String("D3"), rel.String("P1")}); err != nil {
+				t.Fatal(err)
+			}
+			maintainAndCheck(t, s)
+			if vt.Len() != 2 {
+				t.Fatalf("after duplicate containment = %d, want 2", vt.Len())
+			}
+
+			// Removing ONE of P1's containments keeps it; removing all
+			// drops it.
+			for _, did := range []string{"D1", "D2"} {
+				if _, err := d.Delete("devices_parts", []rel.Value{rel.String(did), rel.String("P1")}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			maintainAndCheck(t, s)
+			if vt.Len() != 2 {
+				t.Fatalf("P1 still contained via D3: distinct = %d, want 2", vt.Len())
+			}
+			if _, err := d.Delete("devices_parts", []rel.Value{rel.String("D3"), rel.String("P1")}); err != nil {
+				t.Fatal(err)
+			}
+			maintainAndCheck(t, s)
+			if vt.Len() != 1 {
+				t.Fatalf("after last containment gone = %d, want 1", vt.Len())
+			}
+		})
+	}
+}
+
+// A view whose grouping attribute is itself updated (key-touching
+// updates) must fall back to the general recompute rule and stay correct.
+func TestGroupKeyUpdateView(t *testing.T) {
+	for _, mode := range []ivm.Mode{ivm.ModeID, ivm.ModeTuple} {
+		t.Run(mode.String(), func(t *testing.T) {
+			d := fig2DB(t)
+			devices, _ := d.Table("devices")
+			sd := algebra.NewScan("devices", "", devices.Schema())
+			plan := algebra.NewGroupBy(sd, []string{"devices.category"},
+				[]algebra.Agg{{Fn: algebra.AggCount, As: "n"}})
+
+			s := ivm.NewSystem(d)
+			s.SelfCheck = true
+			register(t, s, "by_cat", plan, mode)
+			vt, _ := d.Table("by_cat")
+			if vt.Len() != 2 {
+				t.Fatalf("categories = %d, want 2", vt.Len())
+			}
+			// Flip the last tablet to phone: the tablet group dies.
+			mustUpdate(t, d, "devices", []rel.Value{rel.String("D3")},
+				[]string{"category"}, []rel.Value{rel.String("phone")})
+			maintainAndCheck(t, s)
+			if vt.Len() != 1 {
+				t.Fatalf("categories after flip = %d, want 1", vt.Len())
+			}
+			row, ok := vt.Get(rel.StatePost, []rel.Value{rel.String("phone")})
+			if !ok || !row[1].Equal(rel.Int(3)) {
+				t.Fatalf("phone count = %v", row)
+			}
+			// And a brand-new category appears.
+			mustUpdate(t, d, "devices", []rel.Value{rel.String("D1")},
+				[]string{"category"}, []rel.Value{rel.String("watch")})
+			maintainAndCheck(t, s)
+			if vt.Len() != 2 {
+				t.Fatalf("categories after new cat = %d, want 2", vt.Len())
+			}
+		})
+	}
+}

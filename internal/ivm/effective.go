@@ -1,0 +1,243 @@
+package ivm
+
+import (
+	"fmt"
+
+	"idivm/internal/db"
+	"idivm/internal/rel"
+)
+
+// UpdatePair is a net per-tuple update with full pre- and post-images.
+type UpdatePair struct {
+	Pre, Post rel.Tuple
+}
+
+// NetChange is the compacted net effect of a modification sequence on one
+// base table: at most one of insert/delete/update per primary key, so that
+// the i-diff instances generated from it are effective (Section 5: "the
+// algorithm combines multiple modifications to the same tuple to a single
+// modification, so as to generate effective diffs").
+type NetChange struct {
+	Table   string
+	Schema  rel.Schema
+	Inserts []rel.Tuple
+	Deletes []rel.Tuple
+	Updates []UpdatePair
+}
+
+// Empty reports whether the change set is empty.
+func (n *NetChange) Empty() bool {
+	return len(n.Inserts) == 0 && len(n.Deletes) == 0 && len(n.Updates) == 0
+}
+
+// CompactLog folds a modification log into per-table net changes,
+// combining multiple modifications of the same tuple: insert∘update →
+// insert, insert∘delete → nothing, update∘update → merged update,
+// update∘delete → delete, delete∘insert → update (or nothing when the
+// reinserted tuple equals the deleted one), and no-op updates are dropped.
+func CompactLog(log []db.Modification, schemaOf func(table string) (rel.Schema, error)) (map[string]*NetChange, error) {
+	type slot struct {
+		// state machine over the tuple's fate since the last maintenance
+		kind    db.ModKind
+		present bool // whether a net change exists
+		pre     rel.Tuple
+		post    rel.Tuple
+		order   int
+	}
+	type tableAcc struct {
+		schema rel.Schema
+		keyIdx []int
+		slots  map[string]*slot
+		order  []string
+	}
+
+	accs := make(map[string]*tableAcc)
+	acc := func(table string) (*tableAcc, error) {
+		if a, ok := accs[table]; ok {
+			return a, nil
+		}
+		s, err := schemaOf(table)
+		if err != nil {
+			return nil, err
+		}
+		a := &tableAcc{schema: s, keyIdx: s.KeyIndices(), slots: make(map[string]*slot)}
+		accs[table] = a
+		return a, nil
+	}
+
+	for _, m := range log {
+		a, err := acc(m.Table)
+		if err != nil {
+			return nil, err
+		}
+		var keyRow rel.Tuple
+		switch m.Kind {
+		case db.ModInsert:
+			keyRow = m.Post
+		default:
+			keyRow = m.Pre
+		}
+		k := rel.KeyOf(keyRow, a.keyIdx)
+		sl, ok := a.slots[k]
+		if !ok {
+			sl = &slot{}
+			a.slots[k] = sl
+			a.order = append(a.order, k)
+		}
+		switch m.Kind {
+		case db.ModInsert:
+			switch {
+			case !sl.present:
+				sl.present, sl.kind, sl.post = true, db.ModInsert, m.Post
+			case sl.kind == db.ModDelete:
+				// delete ∘ insert = update (pre = originally deleted row)
+				if sl.pre.Equal(m.Post) {
+					sl.present = false
+				} else {
+					sl.kind, sl.post = db.ModUpdate, m.Post
+					sl.present = true
+				}
+			default:
+				return nil, fmt.Errorf("ivm: insert into %s over live key %s", m.Table, m.Post)
+			}
+		case db.ModDelete:
+			switch {
+			case !sl.present:
+				sl.present, sl.kind, sl.pre = true, db.ModDelete, m.Pre
+			case sl.kind == db.ModInsert:
+				sl.present = false // insert ∘ delete = nothing
+			case sl.kind == db.ModUpdate:
+				sl.kind = db.ModDelete // keep original pre
+			default:
+				return nil, fmt.Errorf("ivm: double delete in %s of %s", m.Table, m.Pre)
+			}
+		case db.ModUpdate:
+			switch {
+			case !sl.present:
+				sl.present, sl.kind, sl.pre, sl.post = true, db.ModUpdate, m.Pre, m.Post
+			case sl.kind == db.ModInsert:
+				sl.post = m.Post
+			case sl.kind == db.ModUpdate:
+				sl.post = m.Post
+			default:
+				return nil, fmt.Errorf("ivm: update in %s of deleted tuple %s", m.Table, m.Pre)
+			}
+		}
+	}
+
+	out := make(map[string]*NetChange)
+	for table, a := range accs {
+		nc := &NetChange{Table: table, Schema: a.schema}
+		for _, k := range a.order {
+			sl := a.slots[k]
+			if !sl.present {
+				continue
+			}
+			switch sl.kind {
+			case db.ModInsert:
+				nc.Inserts = append(nc.Inserts, sl.post.Clone())
+			case db.ModDelete:
+				nc.Deletes = append(nc.Deletes, sl.pre.Clone())
+			case db.ModUpdate:
+				if sl.pre.Equal(sl.post) {
+					continue // no-op update
+				}
+				nc.Updates = append(nc.Updates, UpdatePair{Pre: sl.pre.Clone(), Post: sl.post.Clone()})
+			}
+		}
+		if !nc.Empty() {
+			out[table] = nc
+		}
+	}
+	return out, nil
+}
+
+// PopulateInstances translates a table's net changes into instances of the
+// base-table i-diff schemas generated at view definition time (Section 5):
+// inserts go to the single insert schema, deletes to the single delete
+// schema, and each update goes to every update schema containing at least
+// one of the modified attributes.
+func PopulateInstances(nc *NetChange, schemas []DiffSchema) ([]*Instance, error) {
+	var out []*Instance
+	for _, ds := range schemas {
+		inst := NewInstance(ds)
+		switch ds.Type {
+		case DiffInsert:
+			for _, row := range nc.Inserts {
+				t, err := diffRowFrom(ds, nc.Schema, nil, row)
+				if err != nil {
+					return nil, err
+				}
+				inst.Rows.Add(t)
+			}
+		case DiffDelete:
+			for _, row := range nc.Deletes {
+				t, err := diffRowFrom(ds, nc.Schema, row, nil)
+				if err != nil {
+					return nil, err
+				}
+				inst.Rows.Add(t)
+			}
+		case DiffUpdate:
+			for _, up := range nc.Updates {
+				if !updateTouches(ds, nc.Schema, up) {
+					continue
+				}
+				t, err := diffRowFrom(ds, nc.Schema, up.Pre, up.Post)
+				if err != nil {
+					return nil, err
+				}
+				inst.Rows.Add(t)
+			}
+		}
+		if inst.Len() > 0 {
+			out = append(out, inst)
+		}
+	}
+	return out, nil
+}
+
+// updateTouches reports whether the update modified at least one attribute
+// carried in the schema's post set.
+func updateTouches(ds DiffSchema, schema rel.Schema, up UpdatePair) bool {
+	for _, a := range ds.Post {
+		i := schema.Index(a)
+		if i >= 0 && !up.Pre[i].Same(up.Post[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// diffRowFrom builds one diff tuple of schema ds from the base table's
+// pre/post images. For inserts pre is nil; for deletes post is nil. ID
+// values come from whichever image is available (keys are immutable).
+func diffRowFrom(ds DiffSchema, schema rel.Schema, pre, post rel.Tuple) (rel.Tuple, error) {
+	src := post
+	if src == nil {
+		src = pre
+	}
+	row := make(rel.Tuple, 0, len(ds.IDs)+len(ds.Pre)+len(ds.Post))
+	for _, a := range ds.IDs {
+		i := schema.Index(a)
+		if i < 0 {
+			return nil, fmt.Errorf("ivm: diff ID attr %q not in %s", a, ds.Rel)
+		}
+		row = append(row, src[i])
+	}
+	for _, a := range ds.Pre {
+		i := schema.Index(a)
+		if i < 0 || pre == nil {
+			return nil, fmt.Errorf("ivm: diff pre attr %q unavailable for %s", a, ds.Rel)
+		}
+		row = append(row, pre[i])
+	}
+	for _, a := range ds.Post {
+		i := schema.Index(a)
+		if i < 0 || post == nil {
+			return nil, fmt.Errorf("ivm: diff post attr %q unavailable for %s", a, ds.Rel)
+		}
+		row = append(row, post[i])
+	}
+	return row, nil
+}

@@ -1,0 +1,182 @@
+package ivm
+
+import (
+	"fmt"
+	"time"
+
+	"idivm/internal/algebra"
+	"idivm/internal/db"
+	"idivm/internal/rel"
+)
+
+// PhaseCosts records access counts and wall-clock time per maintenance
+// phase — the stacked components of the paper's Figure 12.
+type PhaseCosts struct {
+	Cost [4]rel.CostCounter
+	Time [4]time.Duration
+	// RowsTouched counts view/cache rows modified by apply steps.
+	RowsTouched int
+	// ViewDiffTuples counts the diff tuples applied to the view itself
+	// (|∆_V|, the denominator of the compression factor p of Section 6).
+	ViewDiffTuples int
+	// ViewRowsTouched counts the view rows modified (|D_V|).
+	ViewRowsTouched int
+	// Steps records the per-step access counts, in execution order, for
+	// plan-level diagnosis.
+	Steps []StepCost
+}
+
+// StepCost is one script step's access count.
+type StepCost struct {
+	Step string
+	Cost rel.CostCounter
+}
+
+// Total sums access counts across phases.
+func (p *PhaseCosts) Total() rel.CostCounter {
+	var c rel.CostCounter
+	for i := range p.Cost {
+		c.Add(p.Cost[i])
+	}
+	return c
+}
+
+// TotalTime sums wall time across phases.
+func (p *PhaseCosts) TotalTime() time.Duration {
+	var t time.Duration
+	for i := range p.Time {
+		t += p.Time[i]
+	}
+	return t
+}
+
+// execEnv layers the script's relation bindings (base diff instances and
+// computed intermediates) over the database catalog.
+type execEnv struct {
+	d    *db.Database
+	bind map[string]*rel.Relation
+}
+
+// Table implements algebra.Env.
+func (e *execEnv) Table(name string) (*rel.Table, error) { return e.d.Table(name) }
+
+// Rel implements algebra.Env.
+func (e *execEnv) Rel(name string) (*rel.Relation, error) {
+	if r, ok := e.bind[name]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("ivm: unbound relation %q", name)
+}
+
+// RunScript executes a Δ-script against the database: base diff instances
+// are passed as bindings keyed by BaseBindName; the script's compute steps
+// evaluate plans and bind results; apply steps mutate caches and the view.
+// The view and caches are placed in a maintenance epoch for the duration,
+// so plans may reference their pre-state at any point.
+func RunScript(d *db.Database, s *Script, bindings map[string]*rel.Relation) (*PhaseCosts, error) {
+	return runScript(d, s, bindings, false)
+}
+
+// RunScriptVerified is RunScript plus the Section 2 effectiveness
+// self-check: after execution, every diff instance that was applied to
+// the view is re-validated against the view's post-state (effective diffs
+// are what make the apply order irrelevant). The extra probes are charged
+// like any other access, so use it in tests, not in measured runs.
+func RunScriptVerified(d *db.Database, s *Script, bindings map[string]*rel.Relation) (*PhaseCosts, error) {
+	return runScript(d, s, bindings, true)
+}
+
+func runScript(d *db.Database, s *Script, bindings map[string]*rel.Relation, verify bool) (*PhaseCosts, error) {
+	env := &execEnv{d: d, bind: make(map[string]*rel.Relation, len(bindings)+8)}
+	for k, v := range bindings {
+		env.bind[k] = v
+	}
+	// Open epochs on the view and every cache.
+	epochTables := []string{s.View}
+	for _, c := range s.Caches {
+		epochTables = append(epochTables, c.Name)
+	}
+	for _, name := range epochTables {
+		t, err := d.Table(name)
+		if err != nil {
+			return nil, fmt.Errorf("ivm: script target %q not materialized: %w", name, err)
+		}
+		t.BeginEpoch()
+	}
+	defer func() {
+		for _, name := range epochTables {
+			if t, err := d.Table(name); err == nil {
+				t.EndEpoch()
+			}
+		}
+	}()
+
+	counter := d.Counter()
+	pc := &PhaseCosts{}
+	var applied []*Instance // view-level instances, retained when verifying
+	for _, st := range s.Steps {
+		before := *counter
+		start := time.Now()
+		switch x := st.(type) {
+		case *ComputeStep:
+			r, err := algebra.Eval(x.Plan, env)
+			if err != nil {
+				return nil, fmt.Errorf("ivm: step %s: %w", x.Name, err)
+			}
+			env.bind[x.Name] = r
+		case *ApplyStep:
+			r, ok := env.bind[x.DiffName]
+			if !ok {
+				return nil, fmt.Errorf("ivm: apply of unbound diff %q", x.DiffName)
+			}
+			t, err := d.Table(x.Table)
+			if err != nil {
+				return nil, err
+			}
+			inst := &Instance{Schema: x.Diff, Rows: r}
+			n, err := inst.Apply(t)
+			if err != nil {
+				return nil, fmt.Errorf("ivm: applying %s to %s: %w", x.DiffName, x.Table, err)
+			}
+			pc.RowsTouched += n
+			if x.Table == s.View {
+				pc.ViewDiffTuples += r.Len()
+				pc.ViewRowsTouched += n
+				if verify {
+					applied = append(applied, inst)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("ivm: unknown step type %T", st)
+		}
+		ph := st.Phase()
+		delta := counter.Sub(before)
+		pc.Cost[ph].Add(delta)
+		pc.Time[ph] += time.Since(start)
+		name := ""
+		switch x := st.(type) {
+		case *ComputeStep:
+			name = x.Name
+		case *ApplyStep:
+			name = "APPLY " + x.DiffName
+		}
+		pc.Steps = append(pc.Steps, StepCost{Step: name, Cost: delta})
+	}
+	if verify {
+		vt, err := d.Table(s.View)
+		if err != nil {
+			return nil, err
+		}
+		for _, inst := range applied {
+			ok, err := inst.IsEffective(vt)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("ivm: non-effective view diff applied: %s (%d tuples)",
+					inst.Schema, inst.Len())
+			}
+		}
+	}
+	return pc, nil
+}

@@ -1,0 +1,54 @@
+package ivm_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"idivm/internal/ivm"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// The generated Δ-script for the paper's Figure 7 view is pinned as a
+// golden file: any change to ID inference, the propagation rules, the
+// composition order or the minimizer shows up as a diff here.
+// Regenerate deliberately with: go test -run Golden -update-golden ./internal/ivm/
+func TestFig7ScriptGolden(t *testing.T) {
+	d := fig2DB(t)
+	s := ivm.NewSystem(d)
+	v := register(t, s, "Vagg", aggPlan(t, d), ivm.ModeID)
+	got := v.Script.String()
+
+	path := filepath.Join("testdata", "fig7_script.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("Δ-script changed; inspect and refresh with -update-golden.\n--- got ---\n%s\n--- want ---\n%s",
+			got, want)
+	}
+
+	// Structural spot checks mirroring the paper's Figure 7: a cache below
+	// the aggregate, maintained first, with the view updated from it.
+	if !strings.Contains(got, "CACHE cache:Vagg:1") {
+		t.Error("expected the intermediate cache declaration")
+	}
+	cacheApply := strings.Index(got, "APPLY Δ2 TO cache:Vagg:1")
+	viewApply := strings.LastIndex(got, "TO Vagg")
+	if cacheApply < 0 || viewApply < 0 || cacheApply > viewApply {
+		t.Error("cache must be applied before the view")
+	}
+	if !strings.Contains(got, "@cache:Vagg:1") {
+		t.Error("view diffs must reference the cache")
+	}
+}

@@ -1,0 +1,131 @@
+package ivm
+
+import (
+	"idivm/internal/algebra"
+	"idivm/internal/expr"
+	"idivm/internal/rel"
+)
+
+// linearizeJoin is part of pass 4's "other optimizations particular to the
+// IVM problem": it flattens a nested join tree into a left-deep chain that
+// starts from the diff-driven side (the subplan touching no stored data)
+// and grows by following equi-join edges. Each step of the resulting chain
+// joins the accumulated (small, diff-derived) relation against a single
+// stored leaf, which the evaluator executes as an index nested-loop —
+// matching the diff-driven loop plans of the paper's Appendix A.
+func linearizeJoin(j *algebra.Join) algebra.Node {
+	leaves, conjuncts := flattenJoin(j)
+	if len(leaves) <= 2 {
+		return j
+	}
+
+	attrsOf := func(n algebra.Node) []string { return n.Schema().Attrs }
+
+	// Push single-leaf conjuncts into selections over their leaf.
+	var joinConjs []expr.Expr
+	for _, c := range conjuncts {
+		placed := false
+		for i, leaf := range leaves {
+			if rel.Subset(c.Cols(), attrsOf(leaf)) {
+				leaves[i] = algebra.NewSelect(leaf, c)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			joinConjs = append(joinConjs, c)
+		}
+	}
+
+	// Pick the starting leaf: prefer one free of stored data (diff side).
+	start := 0
+	for i, leaf := range leaves {
+		if !algebra.TouchesStored(leaf) {
+			start = i
+			break
+		}
+	}
+	acc := leaves[start]
+	remaining := append(append([]algebra.Node(nil), leaves[:start]...), leaves[start+1:]...)
+	accAttrs := attrsOf(acc)
+	pending := joinConjs
+
+	for len(remaining) > 0 {
+		// Choose the next leaf connected to acc by some pending conjunct.
+		next := -1
+		for i, leaf := range remaining {
+			for _, c := range pending {
+				cols := c.Cols()
+				union := rel.Union(accAttrs, attrsOf(leaf))
+				if rel.Subset(cols, union) && len(rel.Intersect(cols, accAttrs)) > 0 &&
+					len(rel.Intersect(cols, attrsOf(leaf))) > 0 {
+					next = i
+					break
+				}
+			}
+			if next >= 0 {
+				break
+			}
+		}
+		if next < 0 {
+			next = 0 // cross product fallback
+		}
+		leaf := remaining[next]
+		remaining = append(remaining[:next], remaining[next+1:]...)
+
+		union := rel.Union(accAttrs, attrsOf(leaf))
+		var here, rest []expr.Expr
+		for _, c := range pending {
+			if rel.Subset(c.Cols(), union) {
+				here = append(here, c)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		pending = rest
+		acc = algebra.NewJoin(acc, leaf, expr.And(here...))
+		accAttrs = union
+	}
+	if len(pending) > 0 {
+		// Conjuncts that never became evaluable indicate a malformed plan;
+		// keep them as a final selection to preserve semantics.
+		acc = algebra.NewSelect(acc, expr.And(pending...))
+	}
+	return projectToSchema(acc, j.Schema())
+}
+
+// flattenJoin expands nested inner joins into leaves plus the conjunct
+// pool of all their predicates.
+func flattenJoin(n algebra.Node) ([]algebra.Node, []expr.Expr) {
+	if j, ok := n.(*algebra.Join); ok {
+		ll, lc := flattenJoin(j.Left)
+		rl, rc := flattenJoin(j.Right)
+		leaves := append(ll, rl...)
+		conjs := append(append(lc, rc...), expr.Conjuncts(j.Pred)...)
+		return leaves, conjs
+	}
+	return []algebra.Node{n}, nil
+}
+
+// projectToSchema restores the original output column order after
+// reassociation changed it.
+func projectToSchema(n algebra.Node, want rel.Schema) algebra.Node {
+	have := n.Schema()
+	same := len(have.Attrs) == len(want.Attrs)
+	if same {
+		for i := range have.Attrs {
+			if have.Attrs[i] != want.Attrs[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		return n
+	}
+	items := make([]algebra.ProjItem, len(want.Attrs))
+	for i, a := range want.Attrs {
+		items[i] = algebra.ProjItem{E: expr.C(a), As: a}
+	}
+	return algebra.NewProject(n, items)
+}

@@ -1,0 +1,67 @@
+package ivm_test
+
+import (
+	"strings"
+	"testing"
+
+	"idivm/internal/ivm"
+)
+
+// The combined group-delta (ΔG) reads only pre-state, so the generator
+// schedules it before the input cache's apply steps — both for the
+// epoch's pre==post index sharing and as a regression guard on the
+// pending-apply mechanism.
+func TestScriptOrdering(t *testing.T) {
+	d := fig2DB(t)
+	s := ivm.NewSystem(d)
+	v := register(t, s, "Vagg", aggPlan(t, d), ivm.ModeID)
+
+	cacheName := v.Script.Caches[0].Name
+	dgIdx, firstCacheApply, lastCacheApply, firstViewCompute := -1, -1, -1, -1
+	for i, st := range v.Script.Steps {
+		switch x := st.(type) {
+		case *ivm.ComputeStep:
+			if strings.HasPrefix(x.Name, "ΔG") && dgIdx < 0 {
+				dgIdx = i
+			}
+			if x.Ph == ivm.PhaseViewCompute && firstViewCompute < 0 {
+				firstViewCompute = i
+			}
+		case *ivm.ApplyStep:
+			if x.Table == cacheName {
+				if firstCacheApply < 0 {
+					firstCacheApply = i
+				}
+				lastCacheApply = i
+			}
+		}
+	}
+	if dgIdx < 0 || firstCacheApply < 0 {
+		t.Fatalf("script missing ΔG or cache applies:\n%s", v.Script)
+	}
+	if dgIdx > firstCacheApply {
+		t.Fatalf("ΔG (step %d) must precede the cache applies (step %d)", dgIdx, firstCacheApply)
+	}
+	// View-level computations that read the cache's post-state must come
+	// after every cache apply.
+	if firstViewCompute >= 0 && firstViewCompute < lastCacheApply {
+		// ΔG itself is phase view-compute; exclude it.
+		if firstViewCompute != dgIdx {
+			t.Fatalf("view compute (step %d) before last cache apply (step %d)",
+				firstViewCompute, lastCacheApply)
+		}
+	}
+	// Apply ordering within a table: deletes, then updates, then inserts.
+	var kinds []ivm.DiffType
+	for _, st := range v.Script.Steps {
+		if a, ok := st.(*ivm.ApplyStep); ok && a.Table == cacheName {
+			kinds = append(kinds, a.Diff.Type)
+		}
+	}
+	rank := map[ivm.DiffType]int{ivm.DiffDelete: 0, ivm.DiffUpdate: 1, ivm.DiffInsert: 2}
+	for i := 1; i < len(kinds); i++ {
+		if rank[kinds[i]] < rank[kinds[i-1]] {
+			t.Fatalf("cache applies out of order: %v", kinds)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package ivm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"idivm/internal/algebra"
+	"idivm/internal/db"
+	"idivm/internal/expr"
+	"idivm/internal/ivm"
+	"idivm/internal/rel"
+)
+
+// planGen builds random-but-valid QSPJADU plans over the running-example
+// schema: left-deep join chains over random table subsets, optional
+// selections, an optional antisemijoin, and an optional aggregation.
+type planGen struct {
+	rng   *rand.Rand
+	d     *db.Database
+	alias int
+}
+
+func (g *planGen) scan(table string) *algebra.Scan {
+	g.alias++
+	tb, _ := g.d.Table(table)
+	return algebra.NewScan(table, fmt.Sprintf("s%d_%s", g.alias, table), tb.Schema())
+}
+
+// joinable returns the qualified column pairs with equal bare names across
+// the two subplans (pid/did equijoin candidates).
+func joinable(l, r algebra.Node) [][2]string {
+	var out [][2]string
+	for _, la := range l.Schema().Attrs {
+		_, lb := rel.BaseAttr(la)
+		if lb != "pid" && lb != "did" {
+			continue
+		}
+		for _, ra := range r.Schema().Attrs {
+			_, rb := rel.BaseAttr(ra)
+			if rb == lb {
+				out = append(out, [2]string{la, ra})
+			}
+		}
+	}
+	return out
+}
+
+func (g *planGen) maybeSelect(n algebra.Node) algebra.Node {
+	if g.rng.Intn(3) != 0 {
+		return n
+	}
+	sch := n.Schema()
+	var candidates []expr.Expr
+	for _, a := range sch.Attrs {
+		_, bare := rel.BaseAttr(a)
+		switch bare {
+		case "price":
+			candidates = append(candidates,
+				expr.Gt(expr.C(a), expr.IntLit(int64(5+g.rng.Intn(40)))))
+		case "category":
+			candidates = append(candidates,
+				expr.Eq(expr.C(a), expr.StrLit([]string{"phone", "tablet"}[g.rng.Intn(2)])))
+		}
+	}
+	if len(candidates) == 0 {
+		return n
+	}
+	return algebra.NewSelect(n, candidates[g.rng.Intn(len(candidates))])
+}
+
+func (g *planGen) gen() algebra.Node {
+	tables := []string{"parts", "devices", "devices_parts"}
+	// Start from devices_parts often so joins connect.
+	var plan algebra.Node = g.scan(tables[g.rng.Intn(len(tables))])
+	plan = g.maybeSelect(plan)
+
+	nJoins := g.rng.Intn(3)
+	for i := 0; i < nJoins; i++ {
+		next := algebra.Node(g.scan(tables[g.rng.Intn(len(tables))]))
+		next = g.maybeSelect(next)
+		pairs := joinable(plan, next)
+		if len(pairs) == 0 {
+			continue
+		}
+		p := pairs[g.rng.Intn(len(pairs))]
+		plan = algebra.NewJoin(plan, next, expr.Eq(expr.C(p[0]), expr.C(p[1])))
+	}
+
+	// Optional antisemijoin against a fresh scan.
+	if g.rng.Intn(4) == 0 {
+		right := algebra.Node(g.scan(tables[g.rng.Intn(len(tables))]))
+		right = g.maybeSelect(right)
+		if pairs := joinable(plan, right); len(pairs) > 0 {
+			p := pairs[g.rng.Intn(len(pairs))]
+			plan = algebra.NewAntiJoin(plan, right, expr.Eq(expr.C(p[0]), expr.C(p[1])))
+		}
+	}
+
+	// Optional aggregation over a did/pid column.
+	if g.rng.Intn(3) == 0 {
+		sch := plan.Schema()
+		var keys []string
+		var priceCol string
+		for _, a := range sch.Attrs {
+			_, bare := rel.BaseAttr(a)
+			if bare == "did" || bare == "pid" {
+				keys = append(keys, a)
+			}
+			if bare == "price" && priceCol == "" {
+				priceCol = a
+			}
+		}
+		if len(keys) > 0 {
+			key := keys[g.rng.Intn(len(keys))]
+			aggs := []algebra.Agg{{Fn: algebra.AggCount, As: "cnt"}}
+			if priceCol != "" {
+				fns := []algebra.AggFn{algebra.AggSum, algebra.AggMin, algebra.AggMax, algebra.AggAvg}
+				fn := fns[g.rng.Intn(len(fns))]
+				aggs = append(aggs, algebra.Agg{Fn: fn, Arg: expr.C(priceCol), As: "agg"})
+			}
+			plan = algebra.NewGroupBy(plan, []string{key}, aggs)
+		}
+	}
+	return plan
+}
+
+// randomMods applies a small batch of random valid modifications.
+func randomMods(d *db.Database, rng *rand.Rand, nextPart *int) {
+	categories := []string{"phone", "tablet"}
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		switch rng.Intn(6) {
+		case 0:
+			id := rel.String(partID(*nextPart))
+			*nextPart++
+			_ = d.Insert("parts", rel.Tuple{id, rel.Int(int64(1 + rng.Intn(60)))})
+		case 1:
+			if k := randomKey(d, "parts", rng); k != nil {
+				_, _ = d.Update("parts", k, []string{"price"}, []rel.Value{rel.Int(int64(1 + rng.Intn(60)))})
+			}
+		case 2:
+			if k := randomKey(d, "devices", rng); k != nil {
+				_, _ = d.Update("devices", k, []string{"category"},
+					[]rel.Value{rel.String(categories[rng.Intn(2)])})
+			}
+		case 3:
+			pid := randomKey(d, "parts", rng)
+			did := randomKey(d, "devices", rng)
+			if pid != nil && did != nil {
+				_ = d.Insert("devices_parts", rel.Tuple{did[0], pid[0]})
+			}
+		case 4:
+			if k := randomKey(d, "devices_parts", rng); k != nil {
+				_, _ = d.Delete("devices_parts", k)
+			}
+		case 5:
+			if k := randomKey(d, "parts", rng); k != nil {
+				dp, _ := d.Table("devices_parts")
+				if rows, _ := dp.Lookup(rel.StatePost, []string{"pid"}, []rel.Value{k[0]}); len(rows) == 0 {
+					_, _ = d.Delete("parts", k)
+				}
+			}
+		}
+	}
+}
+
+// Property: for RANDOM plans and random modification batches, incremental
+// maintenance equals recomputation, in both modes, with effectiveness
+// self-checking on. This is the broadest rule-combination net in the
+// suite; a failing seed prints the plan for reproduction.
+func TestRandomPlansMaintainCorrectly(t *testing.T) {
+	trials := 120
+	if testing.Short() {
+		trials = 10
+	}
+	for _, mode := range []ivm.Mode{ivm.ModeID, ivm.ModeTuple} {
+		t.Run(mode.String(), func(t *testing.T) {
+			for trial := 0; trial < trials; trial++ {
+				rng := rand.New(rand.NewSource(int64(1000 + trial)))
+				d := fig2DB(t)
+				g := &planGen{rng: rng, d: d}
+				plan := g.gen()
+
+				s := ivm.NewSystem(d)
+				s.SelfCheck = true
+				if _, err := s.RegisterView("V", plan, mode); err != nil {
+					t.Fatalf("trial %d: register %s: %v\nplan: %s", trial, mode, err, plan)
+				}
+				nextPart := 50
+				for round := 0; round < 5; round++ {
+					randomMods(d, rng, &nextPart)
+					if _, err := s.MaintainAll(); err != nil {
+						t.Fatalf("trial %d round %d (%s): %v\nplan: %s", trial, round, mode, err, plan)
+					}
+					if err := s.CheckConsistent("V"); err != nil {
+						t.Fatalf("trial %d round %d (%s): %v\nplan: %s", trial, round, mode, err, plan)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,586 @@
+package ivm
+
+import (
+	"fmt"
+
+	"idivm/internal/algebra"
+	"idivm/internal/expr"
+	"idivm/internal/rel"
+)
+
+// Delta column names used by the incremental aggregation path.
+func sumDeltaCol(j int) string { return fmt.Sprintf("Δx%d", j) }
+func cntDeltaCol(j int) string { return fmt.Sprintf("Δn%d", j) }
+
+const tupleCntCol = "Δcnt"
+
+// renamedInput returns the subview in the given state with every column
+// suffixed, staying index-probeable when the subview is materialized.
+func renamedInput(in inputFn, st rel.State, sfx string) algebra.Node {
+	n := in(st)
+	if ref, ok := n.(*algebra.RelRef); ok && ref.Stored {
+		return ref.Renamed(sfx)
+	}
+	return renameAll(n, sfx)
+}
+
+// groupRules dispatches between the incremental aggregation path
+// (Tables 9, 11 and 12 for SUM, COUNT and AVG, extended with group
+// creation/deletion handling) and the general recompute path (Table 7,
+// used for MIN/MAX, duplicate elimination, and updates that modify
+// grouping attributes).
+func (g *gen) groupRules(op *algebra.GroupBy, ins []decl, input inputFn, output inputFn, ph Phase) ([]decl, error) {
+	if len(ins) == 0 {
+		return nil, nil
+	}
+	incremental := len(op.Aggs) > 0
+	for _, a := range op.Aggs {
+		switch a.Fn {
+		case algebra.AggSum, algebra.AggCount, algebra.AggAvg:
+		default:
+			incremental = false
+		}
+	}
+	for _, in := range ins {
+		if in.schema.Type == DiffUpdate && len(rel.Intersect(op.Keys, in.schema.Post)) > 0 {
+			incremental = false // grouping attributes updated
+		}
+	}
+	if incremental {
+		return g.groupIncremental(op, ins, input, output, ph)
+	}
+	g.flushPending()
+	return g.groupRecompute(op, ins, input, output)
+}
+
+// kappaCol names the i-th input-tuple ID column carried by contribution
+// rows; the combiner uses them to deduplicate overlapping contributions
+// from different base-diff paths (e.g. a part deletion and a containment
+// deletion both removing the same cache tuple).
+func kappaCol(i int) string { return fmt.Sprintf("κ%d", i) }
+
+// contribution builds, for one input diff, a plan producing one row per
+// affected input tuple with the input tuple's full ID, the group key, and
+// per-aggregate delta columns: (κ̄, Ḡ, Δx_j, Δn_j, Δcnt). This realizes
+// the ∆1/∆2/∆3 rules of Tables 9 and 11; partial-ID update diffs are
+// expanded to per-tuple granularity by joining the input's pre-state on
+// the diff's IDs — the central trick of the paper's Figure 7 script.
+func (g *gen) contribution(op *algebra.GroupBy, in decl, input inputFn) (algebra.Node, error) {
+	ds := in.schema
+	childKey := op.Child.Schema().Key
+
+	// Columns the contribution needs from the input tuple.
+	needed := append([]string(nil), op.Keys...)
+	for _, a := range op.Aggs {
+		if a.Arg != nil {
+			needed = rel.Union(needed, a.Arg.Cols())
+		}
+	}
+	needed = rel.Union(needed, childKey)
+
+	// source plan + rename maps from child attrs to source columns.
+	var source algebra.Node
+	var preRen, postRen map[string]string
+	fullID := len(ds.IDs) == len(childKey) && subsetOf(ds.IDs, childKey) && subsetOf(childKey, ds.IDs)
+
+	switch ds.Type {
+	case DiffInsert:
+		// ∆3 = ∆+ ▷Ī Input_pre (Table 9: skip tuples already present, so
+		// repeated effective inserts stay idempotent).
+		rec := reconstruct(in, rel.Union(needed, ds.IDs), rel.StatePost)
+		inPre := renamedInput(input, rel.StatePre, "@e")
+		source = algebra.NewAntiJoin(rec, inPre, idEq(ds.IDs, "@e"))
+		preRen, postRen = identityMap(needed), identityMap(needed)
+
+	case DiffDelete:
+		if canReconstruct(in, needed, rel.StatePre) {
+			source = reconstruct(in, needed, rel.StatePre)
+			preRen, postRen = identityMap(needed), identityMap(needed)
+		} else {
+			source = algebra.NewJoin(in.plan, renamedInput(input, rel.StatePre, "@in"), idEq(ds.IDs, "@in"))
+			preRen = suffixMap(needed, "@in")
+			postRen = preRen
+		}
+
+	case DiffUpdate:
+		// An update touching neither the aggregate arguments nor the tuple
+		// count leaves every group unchanged: contribute nothing.
+		affectsAny := false
+		for _, a := range op.Aggs {
+			if a.Arg != nil && len(rel.Intersect(a.Arg.Cols(), ds.Post)) > 0 {
+				affectsAny = true
+			}
+		}
+		if !affectsAny {
+			return nil, nil
+		}
+		if fullID && canReconstruct(in, needed, rel.StatePre) && canReconstruct(in, needed, rel.StatePost) {
+			source = in.plan
+			preRen = restrictMap(preMap(ds), ds.IDs, needed)
+			postRen = restrictMap(postMap(ds), ds.IDs, needed)
+		} else {
+			// Table 9's ∆1: expand through Input_pre on the diff's IDs.
+			source = algebra.NewJoin(in.plan, renamedInput(input, rel.StatePre, "@in"), idEq(ds.IDs, "@in"))
+			preRen = suffixMap(needed, "@in")
+			postRen = map[string]string{}
+			for _, a := range needed {
+				if rel.Contains(ds.Post, a) {
+					postRen[a] = PostName(a)
+				} else {
+					postRen[a] = a + "@in"
+				}
+			}
+		}
+	}
+
+	// Build the projection items: input-tuple ID, group key, deltas.
+	var items []algebra.ProjItem
+	for i, k := range childKey {
+		items = append(items, algebra.ProjItem{E: expr.C(preRen[k]), As: kappaCol(i)})
+	}
+	for _, k := range op.Keys {
+		items = append(items, algebra.ProjItem{E: expr.C(preRen[k]), As: k})
+	}
+	zero := expr.IntLit(0)
+	for j, a := range op.Aggs {
+		var pre, post expr.Expr
+		if a.Arg != nil {
+			pre = expr.Rename(a.Arg, preRen)
+			post = expr.Rename(a.Arg, postRen)
+		}
+		sumPre := func() expr.Expr { return expr.Call("coalesce", pre, zero) }
+		sumPost := func() expr.Expr { return expr.Call("coalesce", post, zero) }
+		nnPre := func() expr.Expr { return expr.Call("notnull", pre) }
+		nnPost := func() expr.Expr { return expr.Call("notnull", post) }
+
+		var sumDelta, cntDelta expr.Expr
+		switch ds.Type {
+		case DiffInsert:
+			if a.Arg != nil {
+				sumDelta, cntDelta = sumPost(), nnPost()
+			} else {
+				sumDelta, cntDelta = zero, expr.IntLit(1)
+			}
+		case DiffDelete:
+			if a.Arg != nil {
+				sumDelta = expr.SubE(zero, sumPre())
+				cntDelta = expr.SubE(zero, nnPre())
+			} else {
+				sumDelta, cntDelta = zero, expr.IntLit(-1)
+			}
+		case DiffUpdate:
+			if a.Arg != nil && len(rel.Intersect(a.Arg.Cols(), ds.Post)) > 0 {
+				sumDelta = expr.SubE(sumPost(), sumPre())
+				cntDelta = expr.SubE(nnPost(), nnPre())
+			} else {
+				sumDelta, cntDelta = zero, zero
+			}
+		}
+		items = append(items, algebra.ProjItem{E: sumDelta, As: sumDeltaCol(j)})
+		items = append(items, algebra.ProjItem{E: cntDelta, As: cntDeltaCol(j)})
+	}
+	var tupleCnt expr.Expr
+	switch ds.Type {
+	case DiffInsert:
+		tupleCnt = expr.IntLit(1)
+	case DiffDelete:
+		tupleCnt = expr.IntLit(-1)
+	default:
+		tupleCnt = zero
+	}
+	items = append(items, algebra.ProjItem{E: tupleCnt, As: tupleCntCol})
+
+	return algebra.NewProject(source, items), nil
+}
+
+// identityMap maps each name to itself.
+func identityMap(names []string) map[string]string {
+	m := make(map[string]string, len(names))
+	for _, n := range names {
+		m[n] = n
+	}
+	return m
+}
+
+// suffixMap maps each name to name+sfx.
+func suffixMap(names []string, sfx string) map[string]string {
+	m := make(map[string]string, len(names))
+	for _, n := range names {
+		m[n] = n + sfx
+	}
+	return m
+}
+
+// restrictMap extends a pre/post map with identity entries for IDs and
+// restricts it to the needed columns.
+func restrictMap(base map[string]string, ids, needed []string) map[string]string {
+	m := make(map[string]string, len(needed))
+	for _, n := range needed {
+		if rel.Contains(ids, n) {
+			m[n] = n
+		} else if v, ok := base[n]; ok {
+			m[n] = v
+		} else {
+			m[n] = n
+		}
+	}
+	return m
+}
+
+// groupIncremental implements the blocking incremental rules for
+// SUM/COUNT/AVG (Tables 9, 11, 12): it combines every input diff into one
+// per-group delta relation, joins it with the operator's Output to update
+// existing groups, and — as an extension over the paper, which "does not
+// handle group creation/deletion" — recomputes newly created groups from
+// the input cache and deletes groups whose tuple count reaches zero.
+func (g *gen) groupIncremental(op *algebra.GroupBy, ins []decl, input inputFn, output inputFn, ph Phase) ([]decl, error) {
+	// 1. Contributions from every diff, partitioned by diff kind so that
+	// overlapping contributions from different base-diff paths can be
+	// deduplicated: two paths deleting (or inserting) the same input tuple
+	// yield identical rows and are collapsed; an update contribution for a
+	// tuple that some path deletes is dropped (the delete already accounts
+	// for the tuple's entire pre-state value).
+	byKind := map[DiffType][]algebra.Node{}
+	for _, in := range ins {
+		c, err := g.contribution(op, in, input)
+		if err != nil {
+			return nil, err
+		}
+		if c != nil {
+			byKind[in.schema.Type] = append(byKind[in.schema.Type], c)
+		}
+	}
+	if len(byKind) == 0 {
+		return nil, nil
+	}
+	childKey := op.Child.Schema().Key
+	var kcols []string
+	for i := range childKey {
+		kcols = append(kcols, kappaCol(i))
+	}
+	var parts []algebra.Node
+	var allCols []string
+	collect := func(kind DiffType) algebra.Node {
+		ps := byKind[kind]
+		if len(ps) == 0 {
+			return nil
+		}
+		u := unionPlans(ps)
+		if allCols == nil {
+			allCols = u.Schema().Attrs
+		}
+		if len(ps) == 1 {
+			return u
+		}
+		return dedupKeys(u, allCols)
+	}
+	dels := collect(DiffDelete)
+	insrt := collect(DiffInsert)
+	upds := byKind[DiffUpdate]
+	if dels != nil {
+		parts = append(parts, dels)
+	}
+	if insrt != nil {
+		parts = append(parts, insrt)
+	}
+	if len(upds) > 0 {
+		u := unionPlans(upds)
+		if allCols == nil {
+			allCols = u.Schema().Attrs
+		}
+		if dels != nil {
+			u2 := algebra.NewAntiJoin(u, renameAll(algebra.Keep(dels, kcols...), "@x"), idEq(kcols, "@x"))
+			parts = append(parts, algebra.Keep(u2, allCols...))
+		} else {
+			parts = append(parts, u)
+		}
+	}
+	union := unionPlans(parts)
+
+	// 2. The combined group-delta relation CD = γ_Ḡ, sum(Δ…).
+	var cdAggs []algebra.Agg
+	for j := range op.Aggs {
+		cdAggs = append(cdAggs,
+			algebra.Agg{Fn: algebra.AggSum, Arg: expr.C(sumDeltaCol(j)), As: sumDeltaCol(j) + "Σ"},
+			algebra.Agg{Fn: algebra.AggSum, Arg: expr.C(cntDeltaCol(j)), As: cntDeltaCol(j) + "Σ"})
+	}
+	cdAggs = append(cdAggs, algebra.Agg{Fn: algebra.AggSum, Arg: expr.C(tupleCntCol), As: tupleCntCol + "Σ"})
+	cdPlan := algebra.NewGroupBy(union, op.Keys, cdAggs)
+
+	cdName := g.fresh("ΔG")
+	g.steps = append(g.steps, &ComputeStep{Name: cdName, Plan: cdPlan, Ph: ph})
+	// The combined delta reads only pre-state; scheduling it before the
+	// input cache's (deferred) applies lets its probes reuse the cache's
+	// live post-state indexes.
+	g.flushPending()
+	cdRef := func() algebra.Node { return algebra.NewRelRef(cdName, cdPlan.Schema()) }
+	cdRenamed := func() algebra.Node { return renameAll(cdRef(), "@d") }
+
+	outSchema := op.Schema()
+	keys := op.Keys
+	var aggCols []string
+	for _, a := range op.Aggs {
+		aggCols = append(aggCols, a.As)
+	}
+
+	// 3. Optional operator cache for AVG (Table 12): Ḡ plus the sum and
+	// count backing each AVG column, maintained alongside the view.
+	hasAvg := false
+	for _, a := range op.Aggs {
+		if a.Fn == algebra.AggAvg {
+			hasAvg = true
+		}
+	}
+	var avgCacheName string
+	var avgCacheSchema rel.Schema
+	if hasAvg {
+		avgCacheName = g.freshCache()
+		var ocAggs []algebra.Agg
+		for _, a := range op.Aggs {
+			if a.Fn == algebra.AggAvg {
+				ocAggs = append(ocAggs,
+					algebra.Agg{Fn: algebra.AggSum, Arg: a.Arg, As: a.As + "#sum"},
+					algebra.Agg{Fn: algebra.AggCount, Arg: a.Arg, As: a.As + "#cnt"})
+			}
+		}
+		ocPlan := algebra.NewGroupBy(input(rel.StatePost), keys, ocAggs)
+		avgCacheSchema = ocPlan.Schema()
+		g.caches = append(g.caches, CacheDef{Name: avgCacheName, Plan: ocPlan})
+		if err := g.maintainAvgCache(op, cdRenamed, input, avgCacheName, avgCacheSchema, ph); err != nil {
+			return nil, err
+		}
+	}
+
+	// 4. ∆u for existing groups: CD ⋈Ḡ Output_pre (one view index lookup
+	// per affected group — the |D|pg term of Table 3).
+	outPre := renamedInput(output, rel.StatePre, "") // plain names
+	join := algebra.NewJoin(cdRenamed(), outPre, idEqSwap(keys, "@d"))
+	updDS := DiffSchema{Type: DiffUpdate, Rel: "", IDs: keys, Pre: aggCols, Post: aggCols}
+	var updPlan algebra.Node = join
+	if hasAvg {
+		ocPost := algebra.NewStoredRef(avgCacheName, avgCacheSchema, rel.StatePost).Renamed("@c")
+		updPlan = algebra.NewJoin(updPlan, ocPost, idEqPlain(keys, "@c"))
+	}
+	var updItems []algebra.ProjItem
+	for _, k := range keys {
+		updItems = append(updItems, algebra.ProjItem{E: expr.C(k), As: k})
+	}
+	for j, a := range op.Aggs {
+		updItems = append(updItems, algebra.ProjItem{E: expr.C(a.As), As: PreName(a.As)})
+		var post expr.Expr
+		switch a.Fn {
+		case algebra.AggSum:
+			post = expr.AddE(expr.C(a.As), expr.C(sumDeltaCol(j)+"Σ@d"))
+		case algebra.AggCount:
+			if a.Arg != nil {
+				post = expr.AddE(expr.C(a.As), expr.C(cntDeltaCol(j)+"Σ@d"))
+			} else {
+				post = expr.AddE(expr.C(a.As), expr.C(tupleCntCol+"Σ@d"))
+			}
+		case algebra.AggAvg:
+			post = expr.DivE(expr.C(a.As+"#sum@c"), expr.C(a.As+"#cnt@c"))
+		}
+		updItems = append(updItems, algebra.ProjItem{E: post, As: PostName(a.As)})
+	}
+	updOut := algebra.NewProject(updPlan, updItems)
+
+	// 5. ∆+ for newly created groups (extension): group keys in CD but not
+	// in Output, recomputed from the input's post-state.
+	newKeys := projectSuffixToPlain(
+		algebra.NewAntiJoin(cdRenamed(), outPre, idEqSwap(keys, "@d")), keys, "@d")
+	recNew := algebra.NewGroupBy(
+		algebra.NewSemiJoin(input(rel.StatePost), renameAll(newKeys, "@k"), idEq(keys, "@k")),
+		keys, op.Aggs)
+	insDS := insertSchemaFor("", outSchema)
+	insOut := toDiff(recNew, insDS, nil)
+
+	// 6. ∆- for dying groups (extension): groups that received deletions
+	// and have no remaining tuple in the input's post-state.
+	delCandidates := projectSuffixToPlain(
+		algebra.NewSelect(cdRenamed(), expr.Lt(expr.C(tupleCntCol+"Σ@d"), expr.IntLit(0))),
+		keys, "@d")
+	dead := algebra.NewAntiJoin(delCandidates, renamedInput(input, rel.StatePost, "@s"), idEq(keys, "@s"))
+	delDS := DiffSchema{Type: DiffDelete, Rel: "", IDs: keys}
+	delOut := algebra.Keep(dead, keys...)
+
+	return []decl{
+		{schema: delDS, plan: delOut},
+		{schema: updDS, plan: updOut},
+		{schema: insDS, plan: insOut},
+	}, nil
+}
+
+// maintainAvgCache emits the cache maintenance steps for the AVG operator
+// cache: update existing groups by the accumulated deltas, insert new
+// groups recomputed from the input, and delete dead groups (Table 12's
+// cache maintenance rules).
+func (g *gen) maintainAvgCache(op *algebra.GroupBy, cdRenamed func() algebra.Node,
+	input inputFn, cacheName string, cacheSchema rel.Schema, ph Phase) error {
+	keys := op.Keys
+	ocPre := algebra.NewStoredRef(cacheName, cacheSchema, rel.StatePre).Renamed("@c")
+	join := algebra.NewJoin(cdRenamed(), ocPre, idEqBoth(keys, "@d", "@c"))
+
+	var pre, post []string
+	var items []algebra.ProjItem
+	for _, k := range keys {
+		items = append(items, algebra.ProjItem{E: expr.C(k + "@d"), As: k})
+	}
+	for j, a := range op.Aggs {
+		if a.Fn != algebra.AggAvg {
+			continue
+		}
+		sumCol, cntCol := a.As+"#sum", a.As+"#cnt"
+		pre = append(pre, sumCol, cntCol)
+		post = append(post, sumCol, cntCol)
+		items = append(items,
+			algebra.ProjItem{E: expr.C(sumCol + "@c"), As: PreName(sumCol)},
+			algebra.ProjItem{E: expr.C(cntCol + "@c"), As: PreName(cntCol)},
+			algebra.ProjItem{E: expr.AddE(expr.C(sumCol+"@c"), expr.C(sumDeltaCol(j)+"Σ@d")), As: PostName(sumCol)},
+			algebra.ProjItem{E: expr.AddE(expr.C(cntCol+"@c"), expr.C(cntDeltaCol(j)+"Σ@d")), As: PostName(cntCol)})
+	}
+	updDS := DiffSchema{Type: DiffUpdate, Rel: cacheName, IDs: keys, Pre: pre, Post: post}
+	updName := g.fresh("Δ")
+	g.steps = append(g.steps,
+		&ComputeStep{Name: updName, Diff: &updDS, Plan: algebra.NewProject(join, items), Ph: ph})
+
+	// New groups: recompute their sums/counts from the input post-state.
+	newKeys := projectSuffixToPlain(
+		algebra.NewAntiJoin(cdRenamed(), ocPre, idEqBoth(keys, "@d", "@c")), keys, "@d")
+	var ocAggs []algebra.Agg
+	for _, a := range op.Aggs {
+		if a.Fn == algebra.AggAvg {
+			ocAggs = append(ocAggs,
+				algebra.Agg{Fn: algebra.AggSum, Arg: a.Arg, As: a.As + "#sum"},
+				algebra.Agg{Fn: algebra.AggCount, Arg: a.Arg, As: a.As + "#cnt"})
+		}
+	}
+	recNew := algebra.NewGroupBy(
+		algebra.NewSemiJoin(input(rel.StatePost), renameAll(newKeys, "@k"), idEq(keys, "@k")),
+		keys, ocAggs)
+	insDS := insertSchemaFor(cacheName, cacheSchema)
+	insName := g.fresh("Δ")
+	g.steps = append(g.steps,
+		&ComputeStep{Name: insName, Diff: &insDS, Plan: toDiff(recNew, insDS, nil), Ph: ph})
+
+	// Dead groups.
+	delCandidates := projectSuffixToPlain(
+		algebra.NewSelect(cdRenamed(), expr.Lt(expr.C(tupleCntCol+"Σ@d"), expr.IntLit(0))),
+		keys, "@d")
+	dead := algebra.NewAntiJoin(delCandidates, renamedInput(input, rel.StatePost, "@s"), idEq(keys, "@s"))
+	delDS := DiffSchema{Type: DiffDelete, Rel: cacheName, IDs: keys}
+	delName := g.fresh("Δ")
+	g.steps = append(g.steps,
+		&ComputeStep{Name: delName, Diff: &delDS, Plan: algebra.Keep(dead, keys...), Ph: ph})
+
+	applyPh := PhaseCacheUpdate
+	g.steps = append(g.steps,
+		&ApplyStep{Table: cacheName, DiffName: delName, Diff: delDS, Ph: applyPh},
+		&ApplyStep{Table: cacheName, DiffName: updName, Diff: updDS, Ph: applyPh},
+		&ApplyStep{Table: cacheName, DiffName: insName, Diff: insDS, Ph: applyPh})
+	return nil
+}
+
+// groupRecompute implements the general aggregation rule (Table 7): find
+// every affected group, recompute it from the input's post-state, and
+// classify the results against the operator's Output into updates,
+// inserts (new groups) and deletes (vanished groups).
+func (g *gen) groupRecompute(op *algebra.GroupBy, ins []decl, input inputFn, output inputFn) ([]decl, error) {
+	keys := op.Keys
+	outSchema := op.Schema()
+	var aggCols []string
+	for _, a := range op.Aggs {
+		aggCols = append(aggCols, a.As)
+	}
+
+	// 1. Affected group keys from every diff (pre and post images).
+	var keyPlans []algebra.Node
+	addKeys := func(in decl, st rel.State) {
+		ds := in.schema
+		if canReconstruct(in, keys, st) {
+			keyPlans = append(keyPlans, algebra.Keep(reconstruct(in, keys, st), keys...))
+			return
+		}
+		// Join the input's pre-state on the diff IDs to recover Ḡ.
+		j := algebra.NewJoin(in.plan, renamedInput(input, rel.StatePre, "@in"), idEq(ds.IDs, "@in"))
+		var items []algebra.ProjItem
+		for _, k := range keys {
+			src := k + "@in"
+			if st == rel.StatePost && rel.Contains(ds.Post, k) {
+				src = PostName(k)
+			} else if rel.Contains(ds.IDs, k) {
+				src = k
+			}
+			items = append(items, algebra.ProjItem{E: expr.C(src), As: k})
+		}
+		keyPlans = append(keyPlans, algebra.NewProject(j, items))
+	}
+	for _, in := range ins {
+		switch in.schema.Type {
+		case DiffInsert:
+			addKeys(in, rel.StatePost)
+		case DiffDelete:
+			addKeys(in, rel.StatePre)
+		case DiffUpdate:
+			addKeys(in, rel.StatePre)
+			if len(rel.Intersect(keys, in.schema.Post)) > 0 {
+				addKeys(in, rel.StatePost)
+			}
+		}
+	}
+	ak := dedupKeys(unionPlans(keyPlans), keys)
+
+	// 2. Recompute the affected groups from the input's post-state.
+	rec := algebra.NewGroupBy(
+		algebra.NewSemiJoin(input(rel.StatePost), renameAll(ak, "@k"), idEq(keys, "@k")),
+		keys, op.Aggs)
+
+	outPre := renamedInput(output, rel.StatePre, "@o")
+
+	var outs []decl
+	// 3. Existing groups → ∆u (dummy updates for groups never in the view
+	// are overestimation and cost only their index lookup).
+	if len(aggCols) > 0 {
+		updDS := DiffSchema{Type: DiffUpdate, Rel: "", IDs: keys, Post: aggCols}
+		upd := toDiff(algebra.NewSemiJoin(rec, outPre, idEq(keys, "@o")), updDS, nil)
+		outs = append(outs, decl{schema: updDS, plan: upd})
+	}
+	// 4. New groups → ∆+.
+	insDS := insertSchemaFor("", outSchema)
+	ins2 := toDiff(algebra.NewAntiJoin(rec, outPre, idEq(keys, "@o")), insDS, nil)
+	outs = append(outs, decl{schema: insDS, plan: ins2})
+	// 5. Vanished groups → ∆-: affected keys with no recomputed group.
+	delDS := DiffSchema{Type: DiffDelete, Rel: "", IDs: keys}
+	del := algebra.NewAntiJoin(ak, renameAll(algebra.Keep(rec, keys...), "@r"), idEq(keys, "@r"))
+	outs = append(outs, decl{schema: delDS, plan: del})
+	return outs, nil
+}
+
+// projectSuffixToPlain projects suffixed key columns back to plain names.
+func projectSuffixToPlain(plan algebra.Node, keys []string, sfx string) algebra.Node {
+	items := make([]algebra.ProjItem, len(keys))
+	for i, k := range keys {
+		items[i] = algebra.ProjItem{E: expr.C(k + sfx), As: k}
+	}
+	return algebra.NewProject(plan, items)
+}
+
+// idEqSwap joins sfx-renamed left columns to plain right columns.
+func idEqSwap(ids []string, sfx string) expr.Expr {
+	terms := make([]expr.Expr, len(ids))
+	for i, id := range ids {
+		terms[i] = expr.Eq(expr.C(id+sfx), expr.C(id))
+	}
+	return expr.And(terms...)
+}
+
+// idEqPlain joins plain left columns to sfx-renamed right columns.
+func idEqPlain(ids []string, sfx string) expr.Expr { return idEq(ids, sfx) }
+
+// idEqBoth joins lsfx-renamed columns to rsfx-renamed columns.
+func idEqBoth(ids []string, lsfx, rsfx string) expr.Expr {
+	terms := make([]expr.Expr, len(ids))
+	for i, id := range ids {
+		terms[i] = expr.Eq(expr.C(id+lsfx), expr.C(id+rsfx))
+	}
+	return expr.And(terms...)
+}

@@ -1,0 +1,52 @@
+package ivm_test
+
+import (
+	"testing"
+
+	"idivm/internal/ivm"
+	"idivm/internal/workload"
+)
+
+// A moderately large end-to-end guard: paper-default parameters at 1/250
+// of the paper's scale, several mixed maintenance rounds, both modes,
+// verified each round. Catches scaling bugs (index maintenance, epoch
+// handling, group churn) that the micro tests cannot.
+func TestScaleMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	for _, mode := range []ivm.Mode{ivm.ModeID, ivm.ModeTuple} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p := workload.Defaults(5000)
+			p.Devices = 5000
+			p.Fanout = 10
+			p.DiffSize = 300
+			ds := workload.Build(p)
+			s := ivm.NewSystem(ds.DB)
+			register(t, s, "Vspj", ds.SPJPlan(), mode)
+			register(t, s, "Vagg", ds.AggPlan(), mode)
+
+			for round := 0; round < 4; round++ {
+				if err := ds.ApplyPriceUpdates(); err != nil {
+					t.Fatal(err)
+				}
+				if err := ds.ApplyCategoryFlips(40); err != nil {
+					t.Fatal(err)
+				}
+				if err := ds.ApplyPartChurn(20, 20); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.MaintainAll(); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+			}
+			// One full verification at the end (recomputation at this scale
+			// is the expensive part, so do it once rather than per round).
+			for _, name := range s.ViewNames() {
+				if err := s.CheckConsistent(name); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

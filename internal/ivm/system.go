@@ -1,0 +1,251 @@
+package ivm
+
+import (
+	"fmt"
+	"time"
+
+	"idivm/internal/algebra"
+	"idivm/internal/db"
+	"idivm/internal/rel"
+)
+
+// Mode selects between the paper's ID-based diff propagation (idIVM) and
+// the tuple-based baseline it is compared against.
+type Mode uint8
+
+// The two maintenance modes.
+const (
+	ModeID Mode = iota
+	ModeTuple
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeTuple {
+		return "tuple-based"
+	}
+	return "id-based"
+}
+
+// View is a registered materialized view: its plan, its Δ-script (or
+// D-script in tuple mode), and its backing table.
+type View struct {
+	Name   string
+	Plan   algebra.Node
+	Script *Script
+	Mode   Mode
+}
+
+// Report summarizes one maintenance run of one view.
+type Report struct {
+	View     string
+	Phases   *PhaseCosts
+	Duration time.Duration
+	// DiffTuples counts the base-table diff tuples consumed.
+	DiffTuples int
+}
+
+// System is the idIVM engine of Figure 3: it owns view registration
+// (base-table i-diff schema generation + Δ-script generation), and view
+// maintenance (i-diff instance generation from the modification log +
+// Δ-script execution).
+type System struct {
+	DB    *db.Database
+	views map[string]*View
+	order []string
+	// SelfCheck makes every maintenance run validate the effectiveness of
+	// the diffs it applies to views (Section 2). The extra probes are
+	// charged to the cost counters, so enable it in tests only.
+	SelfCheck bool
+}
+
+// NewSystem creates an idIVM system over a database.
+func NewSystem(d *db.Database) *System {
+	return &System{DB: d, views: make(map[string]*View)}
+}
+
+// RegisterView performs the view-definition-time work: pass 1–4 script
+// generation, base diff schema generation, initial materialization of the
+// view and its caches, and enabling modification logging on the base
+// tables. The plan's attribute names become the view table's columns.
+func (s *System) RegisterView(name string, plan algebra.Node, mode Mode, opts ...GenOptions) (*View, error) {
+	if _, dup := s.views[name]; dup {
+		return nil, fmt.Errorf("ivm: view %q already registered", name)
+	}
+	tableSchema := func(t string) (rel.Schema, error) {
+		tab, err := s.DB.Table(t)
+		if err != nil {
+			return rel.Schema{}, err
+		}
+		return tab.Schema(), nil
+	}
+	base, err := GenerateBaseDiffSchemas(plan, tableSchema)
+	if err != nil {
+		return nil, err
+	}
+	script, err := Generate(name, plan, base, mode == ModeTuple, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialize caches first (γ output caches may read input caches),
+	// then the view.
+	for _, c := range script.Caches {
+		if err := s.materialize(c.Name, c.Plan); err != nil {
+			return nil, fmt.Errorf("ivm: materializing cache %s: %w", c.Name, err)
+		}
+	}
+	if err := s.materialize(name, script.ViewPlan); err != nil {
+		return nil, fmt.Errorf("ivm: materializing view %s: %w", name, err)
+	}
+
+	for _, t := range algebra.BaseTables(plan) {
+		s.DB.EnableLogging(t)
+	}
+
+	v := &View{Name: name, Plan: script.ViewPlan, Script: script, Mode: mode}
+	s.views[name] = v
+	s.order = append(s.order, name)
+	return v, nil
+}
+
+// materialize evaluates a plan and stores the result as a keyed table.
+func (s *System) materialize(name string, plan algebra.Node) error {
+	sch := plan.Schema()
+	if len(sch.Key) == 0 {
+		return fmt.Errorf("ivm: plan for %q has no inferred IDs", name)
+	}
+	r, err := algebra.Eval(plan, s.DB)
+	if err != nil {
+		return err
+	}
+	t, err := s.DB.CreateTable(name, sch)
+	if err != nil {
+		return err
+	}
+	for _, row := range r.Tuples {
+		if err := t.Insert(row); err != nil {
+			return fmt.Errorf("ivm: materializing %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// View returns a registered view.
+func (s *System) View(name string) (*View, bool) {
+	v, ok := s.views[name]
+	return v, ok
+}
+
+// ViewNames lists registered views in registration order.
+func (s *System) ViewNames() []string { return append([]string(nil), s.order...) }
+
+// GenerateInstances compacts the current modification log into effective
+// per-table net changes and populates the base diff instances a view's
+// script consumes, keyed by BaseBindName. All registered schemas get a
+// binding (possibly empty) so scripts can always resolve them.
+func (s *System) GenerateInstances(v *View) (map[string]*rel.Relation, int, error) {
+	tableSchema := func(t string) (rel.Schema, error) {
+		tab, err := s.DB.Table(t)
+		if err != nil {
+			return rel.Schema{}, err
+		}
+		return tab.Schema(), nil
+	}
+	changes, err := CompactLog(s.DB.Log(), tableSchema)
+	if err != nil {
+		return nil, 0, err
+	}
+	bindings := make(map[string]*rel.Relation)
+	total := 0
+	for table, schemas := range v.Script.Base {
+		for i, ds := range schemas {
+			bindings[BaseBindName(table, i)] = rel.NewRelation(ds.RelSchema())
+		}
+		nc, ok := changes[table]
+		if !ok {
+			continue
+		}
+		insts, err := PopulateInstances(nc, schemas)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, inst := range insts {
+			for i, ds := range schemas {
+				if ds.Equal(inst.Schema) {
+					bindings[BaseBindName(table, i)] = inst.Rows
+					total += inst.Len()
+				}
+			}
+		}
+	}
+	return bindings, total, nil
+}
+
+// Maintain brings one view up to date with the modification log without
+// consuming the log (other views may still need it); call ResetLog (or use
+// MaintainAll) once every view is maintained.
+func (s *System) Maintain(name string) (*Report, error) {
+	v, ok := s.views[name]
+	if !ok {
+		return nil, fmt.Errorf("ivm: unknown view %q", name)
+	}
+	bindings, n, err := s.GenerateInstances(v)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	run := RunScript
+	if s.SelfCheck {
+		run = RunScriptVerified
+	}
+	pc, err := run(s.DB, v.Script, bindings)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{View: name, Phases: pc, Duration: time.Since(start), DiffTuples: n}, nil
+}
+
+// MaintainAll maintains every registered view against the current log,
+// then clears the log and closes the base-table epochs.
+func (s *System) MaintainAll() ([]*Report, error) {
+	var out []*Report
+	for _, name := range s.order {
+		r, err := s.Maintain(name)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	s.DB.ResetLog()
+	return out, nil
+}
+
+// Recompute evaluates a view's plan from scratch (the correctness oracle
+// used by tests and the self-check mode).
+func (s *System) Recompute(name string) (*rel.Relation, error) {
+	v, ok := s.views[name]
+	if !ok {
+		return nil, fmt.Errorf("ivm: unknown view %q", name)
+	}
+	return algebra.Eval(v.Plan, s.DB)
+}
+
+// CheckConsistent recomputes the view and compares it to the materialized
+// table, returning an error describing the first mismatch.
+func (s *System) CheckConsistent(name string) error {
+	want, err := s.Recompute(name)
+	if err != nil {
+		return err
+	}
+	t, err := s.DB.Table(name)
+	if err != nil {
+		return err
+	}
+	got := t.Relation(rel.StatePost)
+	if !got.EqualSet(want) {
+		return fmt.Errorf("ivm: view %q inconsistent:\n got (%d rows) %v\nwant (%d rows) %v",
+			name, got.Len(), got.Sorted(), want.Len(), want.Sorted())
+	}
+	return nil
+}

@@ -1,0 +1,433 @@
+package ivm_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"idivm/internal/algebra"
+	"idivm/internal/db"
+	"idivm/internal/expr"
+	"idivm/internal/ivm"
+	"idivm/internal/rel"
+)
+
+// fig2DB builds the paper's Figure 2 initial database instance.
+func fig2DB(t testing.TB) *db.Database {
+	t.Helper()
+	d := db.New()
+	parts := d.MustCreateTable("parts", rel.NewSchema([]string{"pid", "price"}, []string{"pid"}))
+	parts.MustInsert(rel.String("P1"), rel.Int(10))
+	parts.MustInsert(rel.String("P2"), rel.Int(20))
+
+	devices := d.MustCreateTable("devices", rel.NewSchema([]string{"did", "category"}, []string{"did"}))
+	devices.MustInsert(rel.String("D1"), rel.String("phone"))
+	devices.MustInsert(rel.String("D2"), rel.String("phone"))
+	devices.MustInsert(rel.String("D3"), rel.String("tablet"))
+
+	dp := d.MustCreateTable("devices_parts", rel.NewSchema([]string{"did", "pid"}, []string{"did", "pid"}))
+	dp.MustInsert(rel.String("D1"), rel.String("P1"))
+	dp.MustInsert(rel.String("D2"), rel.String("P1"))
+	dp.MustInsert(rel.String("D1"), rel.String("P2"))
+	return d
+}
+
+// spjPlan is the view V of Figure 1b.
+func spjPlan(t testing.TB, d *db.Database) algebra.Node {
+	t.Helper()
+	parts, _ := d.Table("parts")
+	dp, _ := d.Table("devices_parts")
+	devices, _ := d.Table("devices")
+	sp := algebra.NewScan("parts", "", parts.Schema())
+	sdp := algebra.NewScan("devices_parts", "", dp.Schema())
+	sd := algebra.NewScan("devices", "", devices.Schema())
+	j1 := algebra.NewJoin(sp, sdp, expr.Eq(expr.C("parts.pid"), expr.C("devices_parts.pid")))
+	j2 := algebra.NewJoin(j1,
+		algebra.NewSelect(sd, expr.Eq(expr.C("devices.category"), expr.StrLit("phone"))),
+		expr.Eq(expr.C("devices_parts.did"), expr.C("devices.did")))
+	return algebra.NewProject(j2, []algebra.ProjItem{
+		{E: expr.C("devices_parts.did"), As: "devices_parts.did"},
+		{E: expr.C("devices_parts.pid"), As: "devices_parts.pid"},
+		{E: expr.C("parts.price"), As: "price"},
+	})
+}
+
+// aggPlan is the view V' of Figure 5b (sum of part prices per device).
+func aggPlan(t testing.TB, d *db.Database) algebra.Node {
+	t.Helper()
+	return algebra.NewGroupBy(spjPlan(t, d), []string{"devices_parts.did"},
+		[]algebra.Agg{{Fn: algebra.AggSum, Arg: expr.C("price"), As: "cost"}})
+}
+
+func register(t testing.TB, s *ivm.System, name string, plan algebra.Node, mode ivm.Mode) *ivm.View {
+	t.Helper()
+	v, err := s.RegisterView(name, plan, mode)
+	if err != nil {
+		t.Fatalf("register %s: %v", name, err)
+	}
+	return v
+}
+
+func maintainAndCheck(t testing.TB, s *ivm.System) []*ivm.Report {
+	t.Helper()
+	reports, err := s.MaintainAll()
+	if err != nil {
+		t.Fatalf("maintain: %v", err)
+	}
+	for _, name := range s.ViewNames() {
+		if err := s.CheckConsistent(name); err != nil {
+			t.Fatalf("consistency: %v", err)
+		}
+	}
+	return reports
+}
+
+func mustUpdate(t testing.TB, d *db.Database, table string, key []rel.Value, attrs []string, vals []rel.Value) {
+	t.Helper()
+	ok, err := d.Update(table, key, attrs, vals)
+	if err != nil || !ok {
+		t.Fatalf("update %s %v: ok=%v err=%v", table, key, ok, err)
+	}
+}
+
+func TestSPJNonConditionalUpdate(t *testing.T) {
+	for _, mode := range []ivm.Mode{ivm.ModeID, ivm.ModeTuple} {
+		t.Run(mode.String(), func(t *testing.T) {
+			d := fig2DB(t)
+			s := ivm.NewSystem(d)
+			register(t, s, "V", spjPlan(t, d), mode)
+
+			// The Figure 2 change: P1's price 10 → 11.
+			mustUpdate(t, d, "parts", []rel.Value{rel.String("P1")}, []string{"price"}, []rel.Value{rel.Int(11)})
+			reports := maintainAndCheck(t, s)
+
+			vt, _ := d.Table("V")
+			rows, err := vt.Lookup(rel.StatePost, []string{"devices_parts.pid"}, []rel.Value{rel.String("P1")})
+			if err != nil || len(rows) != 2 {
+				t.Fatalf("P1 rows = %d err=%v", len(rows), err)
+			}
+			for _, r := range rows {
+				if !r[vt.Schema().Index("price")].Equal(rel.Int(11)) {
+					t.Fatalf("price not updated: %v", r)
+				}
+			}
+			if reports[0].DiffTuples != 1 {
+				t.Fatalf("diff tuples = %d, want 1", reports[0].DiffTuples)
+			}
+		})
+	}
+}
+
+// The headline claim (Example 1.2 / Q∆ vs QD): for a non-conditional
+// update, ID-based view-diff computation performs NO base table accesses,
+// while the tuple-based one joins devices_parts and devices.
+func TestSPJUpdateAccessCounts(t *testing.T) {
+	run := func(mode ivm.Mode) *ivm.PhaseCosts {
+		d := fig2DB(t)
+		s := ivm.NewSystem(d)
+		register(t, s, "V", spjPlan(t, d), mode)
+		mustUpdate(t, d, "parts", []rel.Value{rel.String("P1")}, []string{"price"}, []rel.Value{rel.Int(11)})
+		d.Counter().Reset()
+		reports := maintainAndCheck(t, s)
+		return reports[0].Phases
+	}
+	id := run(ivm.ModeID)
+	tu := run(ivm.ModeTuple)
+
+	if c := id.Cost[ivm.PhaseViewCompute]; c.Total() != 0 {
+		t.Errorf("ID-based view diff computation should be free, got %v", c)
+	}
+	if c := tu.Cost[ivm.PhaseViewCompute]; c.Total() == 0 {
+		t.Errorf("tuple-based view diff computation should access base tables, got %v", c)
+	}
+	if id.Total().Total() >= tu.Total().Total() {
+		t.Errorf("ID-based total %v should beat tuple-based %v", id.Total(), tu.Total())
+	}
+}
+
+func TestSPJInsertDelete(t *testing.T) {
+	for _, mode := range []ivm.Mode{ivm.ModeID, ivm.ModeTuple} {
+		t.Run(mode.String(), func(t *testing.T) {
+			d := fig2DB(t)
+			s := ivm.NewSystem(d)
+			register(t, s, "V", spjPlan(t, d), mode)
+
+			// New part on a phone and on a tablet (only the phone shows up).
+			if err := d.Insert("parts", rel.Tuple{rel.String("P3"), rel.Int(30)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Insert("devices_parts", rel.Tuple{rel.String("D2"), rel.String("P3")}); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Insert("devices_parts", rel.Tuple{rel.String("D3"), rel.String("P3")}); err != nil {
+				t.Fatal(err)
+			}
+			maintainAndCheck(t, s)
+			vt, _ := d.Table("V")
+			if vt.Len() != 4 {
+				t.Fatalf("view len = %d, want 4", vt.Len())
+			}
+
+			// Delete P1 entirely.
+			if _, err := d.Delete("parts", []rel.Value{rel.String("P1")}); err != nil {
+				t.Fatal(err)
+			}
+			maintainAndCheck(t, s)
+			if vt.Len() != 2 {
+				t.Fatalf("view len after delete = %d, want 2", vt.Len())
+			}
+		})
+	}
+}
+
+func TestSPJConditionalUpdate(t *testing.T) {
+	for _, mode := range []ivm.Mode{ivm.ModeID, ivm.ModeTuple} {
+		t.Run(mode.String(), func(t *testing.T) {
+			d := fig2DB(t)
+			s := ivm.NewSystem(d)
+			register(t, s, "V", spjPlan(t, d), mode)
+
+			// Flip D3 tablet → phone: its parts (none yet) enter; then flip
+			// D2 phone → tablet: its P1 row leaves.
+			mustUpdate(t, d, "devices", []rel.Value{rel.String("D3")}, []string{"category"}, []rel.Value{rel.String("phone")})
+			mustUpdate(t, d, "devices", []rel.Value{rel.String("D2")}, []string{"category"}, []rel.Value{rel.String("tablet")})
+			maintainAndCheck(t, s)
+			vt, _ := d.Table("V")
+			if vt.Len() != 2 {
+				t.Fatalf("view len = %d, want 2 (D1 rows only)", vt.Len())
+			}
+		})
+	}
+}
+
+func TestAggregateViewRunningExample(t *testing.T) {
+	for _, mode := range []ivm.Mode{ivm.ModeID, ivm.ModeTuple} {
+		t.Run(mode.String(), func(t *testing.T) {
+			d := fig2DB(t)
+			s := ivm.NewSystem(d)
+			register(t, s, "Vagg", aggPlan(t, d), mode)
+
+			vt, _ := d.Table("Vagg")
+			if vt.Len() != 2 {
+				t.Fatalf("initial groups = %d, want 2", vt.Len())
+			}
+
+			// Figure 7's scenario: price update flows through the cache.
+			mustUpdate(t, d, "parts", []rel.Value{rel.String("P1")}, []string{"price"}, []rel.Value{rel.Int(11)})
+			maintainAndCheck(t, s)
+			row, ok := vt.Get(rel.StatePost, []rel.Value{rel.String("D1")})
+			if !ok || !row[1].Equal(rel.Int(31)) {
+				t.Fatalf("D1 cost = %v, want 31", row)
+			}
+			row, ok = vt.Get(rel.StatePost, []rel.Value{rel.String("D2")})
+			if !ok || !row[1].Equal(rel.Int(11)) {
+				t.Fatalf("D2 cost = %v, want 11", row)
+			}
+		})
+	}
+}
+
+func TestAggregateGroupCreationDeletion(t *testing.T) {
+	for _, mode := range []ivm.Mode{ivm.ModeID, ivm.ModeTuple} {
+		t.Run(mode.String(), func(t *testing.T) {
+			d := fig2DB(t)
+			s := ivm.NewSystem(d)
+			register(t, s, "Vagg", aggPlan(t, d), mode)
+
+			// Create a group: D3 becomes a phone with part P2.
+			mustUpdate(t, d, "devices", []rel.Value{rel.String("D3")}, []string{"category"}, []rel.Value{rel.String("phone")})
+			if err := d.Insert("devices_parts", rel.Tuple{rel.String("D3"), rel.String("P2")}); err != nil {
+				t.Fatal(err)
+			}
+			maintainAndCheck(t, s)
+			vt, _ := d.Table("Vagg")
+			if vt.Len() != 3 {
+				t.Fatalf("groups = %d, want 3", vt.Len())
+			}
+
+			// Destroy a group: D2 loses its only part.
+			if _, err := d.Delete("devices_parts", []rel.Value{rel.String("D2"), rel.String("P1")}); err != nil {
+				t.Fatal(err)
+			}
+			maintainAndCheck(t, s)
+			if vt.Len() != 2 {
+				t.Fatalf("groups after delete = %d, want 2", vt.Len())
+			}
+			if _, ok := vt.Get(rel.StatePost, []rel.Value{rel.String("D2")}); ok {
+				t.Fatal("D2 group should be gone")
+			}
+		})
+	}
+}
+
+func TestAggregateCacheExists(t *testing.T) {
+	d := fig2DB(t)
+	s := ivm.NewSystem(d)
+	v := register(t, s, "Vagg", aggPlan(t, d), ivm.ModeID)
+	if len(v.Script.Caches) == 0 {
+		t.Fatal("ID-mode aggregate view should create an intermediate cache")
+	}
+	// The cache holds the SPJ subview.
+	ct, err := d.Table(v.Script.Caches[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Len() != 3 {
+		t.Fatalf("cache len = %d, want 3", ct.Len())
+	}
+	// Tuple mode must not create caches (Section 6.2).
+	d2 := fig2DB(t)
+	s2 := ivm.NewSystem(d2)
+	v2 := register(t, s2, "Vagg", aggPlan(t, d2), ivm.ModeTuple)
+	if len(v2.Script.Caches) != 0 {
+		t.Fatal("tuple mode must not create caches")
+	}
+}
+
+func TestBaseDiffSchemaGeneration(t *testing.T) {
+	d := fig2DB(t)
+	plan := spjPlan(t, d)
+	tableSchema := func(n string) (rel.Schema, error) {
+		tab, err := d.Table(n)
+		if err != nil {
+			return rel.Schema{}, err
+		}
+		return tab.Schema(), nil
+	}
+	schemas, err := ivm.GenerateBaseDiffSchemas(plan, tableSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// parts: insert, delete, NC update on price (price is non-conditional;
+	// pid is a key so the join on pid contributes nothing).
+	ps := schemas["parts"]
+	if len(ps) != 3 {
+		t.Fatalf("parts schemas = %v", ps)
+	}
+	var ncUpdates int
+	for _, ds := range ps {
+		if ds.Type == ivm.DiffUpdate {
+			ncUpdates++
+			if len(ds.Post) != 1 || ds.Post[0] != "price" {
+				t.Errorf("parts update schema post = %v", ds.Post)
+			}
+			if len(ds.Pre) != 1 || ds.Pre[0] != "price" {
+				t.Errorf("parts update schema pre = %v", ds.Pre)
+			}
+		}
+	}
+	if ncUpdates != 1 {
+		t.Fatalf("parts update schemas = %d, want 1", ncUpdates)
+	}
+	// devices: category is conditional (selection); no NC attrs remain.
+	var condSeen bool
+	for _, ds := range schemas["devices"] {
+		if ds.Type == ivm.DiffUpdate {
+			if len(ds.Post) == 1 && ds.Post[0] == "category" {
+				condSeen = true
+			}
+		}
+	}
+	if !condSeen {
+		t.Fatal("devices should have a conditional update schema on category")
+	}
+
+	cond, err := ivm.ConditionalAttrs(plan, tableSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cond["devices"]) != 1 || cond["devices"][0] != "category" {
+		t.Errorf("conditional attrs of devices = %v", cond["devices"])
+	}
+	if len(cond["parts"]) != 0 {
+		t.Errorf("conditional attrs of parts = %v", cond["parts"])
+	}
+}
+
+// Randomized storm: apply random batches of modifications across all three
+// tables and check IVM == recomputation after each maintenance round, for
+// both modes and both view shapes.
+func TestRandomizedMaintenance(t *testing.T) {
+	shapes := []struct {
+		name string
+		plan func(testing.TB, *db.Database) algebra.Node
+	}{
+		{"spj", spjPlan},
+		{"agg", aggPlan},
+	}
+	for _, shape := range shapes {
+		for _, mode := range []ivm.Mode{ivm.ModeID, ivm.ModeTuple} {
+			t.Run(shape.name+"/"+mode.String(), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(42))
+				d := fig2DB(t)
+				s := ivm.NewSystem(d)
+				register(t, s, "V", shape.plan(t, d), mode)
+
+				categories := []string{"phone", "tablet", "watch"}
+				nextPart, nextDev := 10, 10
+				for round := 0; round < 12; round++ {
+					nOps := 1 + rng.Intn(6)
+					for i := 0; i < nOps; i++ {
+						switch rng.Intn(6) {
+						case 0: // insert part
+							id := rel.String(partID(nextPart))
+							nextPart++
+							if err := d.Insert("parts", rel.Tuple{id, rel.Int(int64(rng.Intn(50)))}); err != nil {
+								t.Fatal(err)
+							}
+						case 1: // insert device + containment
+							did := rel.String(devID(nextDev))
+							nextDev++
+							cat := categories[rng.Intn(len(categories))]
+							if err := d.Insert("devices", rel.Tuple{did, rel.String(cat)}); err != nil {
+								t.Fatal(err)
+							}
+							pid := randomKey(d, "parts", rng)
+							if pid != nil {
+								_ = d.Insert("devices_parts", rel.Tuple{did, pid[0]})
+							}
+						case 2: // price update
+							if k := randomKey(d, "parts", rng); k != nil {
+								_, _ = d.Update("parts", k, []string{"price"}, []rel.Value{rel.Int(int64(rng.Intn(50)))})
+							}
+						case 3: // category flip
+							if k := randomKey(d, "devices", rng); k != nil {
+								cat := categories[rng.Intn(len(categories))]
+								_, _ = d.Update("devices", k, []string{"category"}, []rel.Value{rel.String(cat)})
+							}
+						case 4: // delete a containment
+							if k := randomKey(d, "devices_parts", rng); k != nil {
+								_, _ = d.Delete("devices_parts", k)
+							}
+						case 5: // new containment
+							pid := randomKey(d, "parts", rng)
+							did := randomKey(d, "devices", rng)
+							if pid != nil && did != nil {
+								_ = d.Insert("devices_parts", rel.Tuple{did[0], pid[0]})
+							}
+						}
+					}
+					maintainAndCheck(t, s)
+				}
+			})
+		}
+	}
+}
+
+func partID(i int) string { return "P" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+func devID(i int) string  { return "D" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+
+// randomKey picks a random primary key currently in the table.
+func randomKey(d *db.Database, table string, rng *rand.Rand) []rel.Value {
+	t, err := d.Table(table)
+	if err != nil || t.Len() == 0 {
+		return nil
+	}
+	rows := t.Rows(rel.StatePost)
+	row := rows[rng.Intn(len(rows))]
+	idx := t.Schema().KeyIndices()
+	key := make([]rel.Value, len(idx))
+	for i, j := range idx {
+		key[i] = row[j]
+	}
+	return key
+}

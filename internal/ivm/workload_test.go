@@ -1,0 +1,115 @@
+package ivm_test
+
+import (
+	"testing"
+
+	"idivm/internal/ivm"
+	"idivm/internal/workload"
+)
+
+// runWorkload registers the aggregate (or SPJ) view over a fresh dataset,
+// applies one round of price updates, maintains, checks consistency and
+// returns the total access count.
+func runWorkload(t *testing.T, p workload.Params, agg bool, mode ivm.Mode) int64 {
+	t.Helper()
+	ds := workload.Build(p)
+	s := ivm.NewSystem(ds.DB)
+	plan := ds.SPJPlan()
+	if agg {
+		plan = ds.AggPlan()
+	}
+	register(t, s, "V", plan, mode)
+	if err := ds.ApplyPriceUpdates(); err != nil {
+		t.Fatal(err)
+	}
+	ds.DB.Counter().Reset()
+	reports := maintainAndCheck(t, s)
+	return reports[0].Phases.Total().Total()
+}
+
+func smallParams() workload.Params {
+	p := workload.Defaults(1500)
+	p.Devices = 1500
+	p.Fanout = 5
+	p.DiffSize = 40
+	return p
+}
+
+// The aggregate view of §6.2 / Fig. 12: ID-based IVM with its intermediate
+// cache must beat tuple-based IVM on update workloads.
+func TestAggregateCostAsymmetry(t *testing.T) {
+	p := smallParams()
+	id := runWorkload(t, p, true, ivm.ModeID)
+	tu := runWorkload(t, p, true, ivm.ModeTuple)
+	t.Logf("agg view accesses: id=%d tuple=%d speedup=%.2f", id, tu, float64(tu)/float64(id))
+	if id >= tu {
+		t.Fatalf("ID-based (%d) should beat tuple-based (%d) on aggregate views", id, tu)
+	}
+}
+
+// §7.2 varying joins (Fig. 12b): ID-based cost stays flat with extra
+// 1-to-1 joins while tuple-based cost grows, so the speedup widens.
+func TestJoinsWidenSpeedup(t *testing.T) {
+	speedup := func(joins int) float64 {
+		p := smallParams()
+		p.Joins = joins
+		p.NoSelection = true // §7.2: selection disabled in the joins sweep
+		id := runWorkload(t, p, true, ivm.ModeID)
+		tu := runWorkload(t, p, true, ivm.ModeTuple)
+		return float64(tu) / float64(id)
+	}
+	s2 := speedup(2)
+	s4 := speedup(4)
+	t.Logf("speedup j=2: %.2f, j=4: %.2f", s2, s4)
+	if s4 <= s2 {
+		t.Fatalf("speedup should grow with joins: j=2 %.2f, j=4 %.2f", s2, s4)
+	}
+}
+
+// §7.2 varying selectivity (Fig. 12c): higher selectivity shrinks the
+// ID-based advantage (bigger cache to maintain) but never inverts it.
+func TestSelectivityShrinksSpeedup(t *testing.T) {
+	speedup := func(sel int) float64 {
+		p := smallParams()
+		p.Selectivity = sel
+		id := runWorkload(t, p, true, ivm.ModeID)
+		tu := runWorkload(t, p, true, ivm.ModeTuple)
+		if id > tu {
+			t.Fatalf("sel=%d: ID-based (%d) lost to tuple-based (%d)", sel, id, tu)
+		}
+		return float64(tu) / float64(id)
+	}
+	s6 := speedup(6)
+	s100 := speedup(100)
+	t.Logf("speedup s=6%%: %.2f, s=100%%: %.2f", s6, s100)
+	if s6 <= s100 {
+		t.Fatalf("speedup should shrink with selectivity: s=6 %.2f, s=100 %.2f", s6, s100)
+	}
+}
+
+// Mixed-change workloads must stay consistent at scale in both modes.
+func TestWorkloadMixedChangesConsistency(t *testing.T) {
+	for _, mode := range []ivm.Mode{ivm.ModeID, ivm.ModeTuple} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p := smallParams()
+			p.Parts, p.Devices = 400, 400
+			ds := workload.Build(p)
+			s := ivm.NewSystem(ds.DB)
+			register(t, s, "Vspj", ds.SPJPlan(), mode)
+			register(t, s, "Vagg", ds.AggPlan(), mode)
+
+			for round := 0; round < 3; round++ {
+				if err := ds.ApplyPriceUpdates(); err != nil {
+					t.Fatal(err)
+				}
+				if err := ds.ApplyCategoryFlips(10); err != nil {
+					t.Fatal(err)
+				}
+				if err := ds.ApplyPartChurn(5, 5); err != nil {
+					t.Fatal(err)
+				}
+				maintainAndCheck(t, s)
+			}
+		})
+	}
+}

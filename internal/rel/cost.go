@@ -1,0 +1,45 @@
+package rel
+
+import "fmt"
+
+// CostCounter accumulates the access counts that form the paper's cost
+// model (Section 6, Appendix A): the IVM cost of an approach is the
+// combined number of tuple accesses and index lookups performed by its
+// maintenance script against stored data (base tables, caches, and the
+// materialized view itself).
+type CostCounter struct {
+	TupleReads   int64 // tuples read from stored tables/views/caches
+	IndexLookups int64 // index probes against stored tables/views/caches
+	TupleWrites  int64 // tuples inserted/deleted/updated in stored data
+}
+
+// Total returns the combined access count (tuple accesses + index lookups),
+// the quantity the paper's speedup formulas are expressed in. Writes are
+// included as tuple accesses, matching the view-modification cost rows of
+// Tables 2 and 3.
+func (c CostCounter) Total() int64 { return c.TupleReads + c.IndexLookups + c.TupleWrites }
+
+// Add accumulates another counter into c.
+func (c *CostCounter) Add(o CostCounter) {
+	c.TupleReads += o.TupleReads
+	c.IndexLookups += o.IndexLookups
+	c.TupleWrites += o.TupleWrites
+}
+
+// Sub returns the difference c - o, useful for per-phase attribution.
+func (c CostCounter) Sub(o CostCounter) CostCounter {
+	return CostCounter{
+		TupleReads:   c.TupleReads - o.TupleReads,
+		IndexLookups: c.IndexLookups - o.IndexLookups,
+		TupleWrites:  c.TupleWrites - o.TupleWrites,
+	}
+}
+
+// Reset zeroes the counter.
+func (c *CostCounter) Reset() { *c = CostCounter{} }
+
+// String renders the counter compactly.
+func (c CostCounter) String() string {
+	return fmt.Sprintf("reads=%d lookups=%d writes=%d total=%d",
+		c.TupleReads, c.IndexLookups, c.TupleWrites, c.Total())
+}

@@ -1,0 +1,135 @@
+package rel
+
+import "strings"
+
+// hashIndex is an equality index over a fixed attribute set, mapping the
+// encoded attribute values to row positions. Indexes are maintained
+// incrementally across mutations so that probe-heavy IVM workloads never
+// pay full rebuilds.
+type hashIndex struct {
+	attrIdx []int
+	buckets map[string][]int
+}
+
+func buildHashIndex(rows []Tuple, attrIdx []int) *hashIndex {
+	h := &hashIndex{attrIdx: attrIdx, buckets: make(map[string][]int)}
+	for i, r := range rows {
+		k := KeyOf(r, attrIdx)
+		h.buckets[k] = append(h.buckets[k], i)
+	}
+	return h
+}
+
+func (h *hashIndex) get(vals []Value) []int {
+	kt := make(Tuple, len(vals))
+	copy(kt, vals)
+	return h.buckets[TupleKey(kt)]
+}
+
+// add registers a row at position pos.
+func (h *hashIndex) add(row Tuple, pos int) {
+	k := KeyOf(row, h.attrIdx)
+	h.buckets[k] = append(h.buckets[k], pos)
+}
+
+// remove unregisters the row that was at position pos.
+func (h *hashIndex) remove(row Tuple, pos int) {
+	k := KeyOf(row, h.attrIdx)
+	b := h.buckets[k]
+	for i, p := range b {
+		if p == pos {
+			b[i] = b[len(b)-1]
+			b = b[:len(b)-1]
+			break
+		}
+	}
+	if len(b) == 0 {
+		delete(h.buckets, k)
+	} else {
+		h.buckets[k] = b
+	}
+}
+
+// move re-points the row's entry from one position to another (after a
+// swap-remove moved it).
+func (h *hashIndex) move(row Tuple, from, to int) {
+	k := KeyOf(row, h.attrIdx)
+	b := h.buckets[k]
+	for i, p := range b {
+		if p == from {
+			b[i] = to
+			return
+		}
+	}
+}
+
+// update moves a row between buckets after its indexed values changed.
+func (h *hashIndex) update(oldRow, newRow Tuple, pos int) {
+	ok := KeyOf(oldRow, h.attrIdx)
+	nk := KeyOf(newRow, h.attrIdx)
+	if ok == nk {
+		return
+	}
+	h.remove(oldRow, pos)
+	h.buckets[nk] = append(h.buckets[nk], pos)
+}
+
+func indexSig(attrs []string) string { return strings.Join(attrs, "\x00") }
+
+// indexOn returns (building lazily) the secondary index over attrs for the
+// requested state. Pre-state indexes are cached for the epoch; post-state
+// indexes are maintained incrementally by the table's mutation paths.
+func (t *Table) indexOn(s State, attrs []string) (*hashIndex, error) {
+	idx, err := t.schema.Indices(attrs)
+	if err != nil {
+		return nil, err
+	}
+	sig := indexSig(attrs)
+	var cache map[string]*hashIndex
+	var rows []Tuple
+	if s == StatePre && t.inEpoch {
+		// Until the first write of the epoch, the pre- and post-states are
+		// identical (same content, same row order), so the incrementally
+		// maintained post-state index serves pre-state probes without a
+		// rebuild.
+		if !t.epochMutated {
+			cache, rows = t.secondary, t.rows
+		} else {
+			cache, rows = t.preSecondary, t.preRows
+		}
+	} else {
+		cache, rows = t.secondary, t.rows
+	}
+	if h, ok := cache[sig]; ok {
+		return h, nil
+	}
+	h := buildHashIndex(rows, idx)
+	cache[sig] = h
+	return h, nil
+}
+
+// Incremental maintenance hooks called by the table's mutation paths.
+
+func (t *Table) indexesAdd(row Tuple, pos int) {
+	for _, h := range t.secondary {
+		h.add(row, pos)
+	}
+}
+
+func (t *Table) indexesRemove(row Tuple, pos int) {
+	for _, h := range t.secondary {
+		h.remove(row, pos)
+	}
+}
+
+func (t *Table) indexesMove(row Tuple, from, to int) {
+	for _, h := range t.secondary {
+		h.move(row, from, to)
+	}
+}
+
+func (t *Table) indexesUpdate(oldRow, newRow Tuple, pos int) {
+	for _, h := range t.secondary {
+		h.update(oldRow, newRow, pos)
+	}
+}

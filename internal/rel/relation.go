@@ -1,0 +1,133 @@
+package rel
+
+import (
+	"sort"
+	"strings"
+)
+
+// Relation is an immutable-by-convention in-memory bag of tuples with a
+// schema. Derived (intermediate) results of plan evaluation are Relations;
+// accessing them is free in the paper's cost model, which only counts
+// accesses to stored tables, caches and materialized views.
+type Relation struct {
+	Schema Schema
+	Tuples []Tuple
+}
+
+// NewRelation returns an empty relation with the given schema.
+func NewRelation(s Schema) *Relation { return &Relation{Schema: s} }
+
+// Add appends a tuple. The tuple must match the schema width.
+func (r *Relation) Add(t Tuple) { r.Tuples = append(r.Tuples, t) }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{Schema: r.Schema.Clone(), Tuples: make([]Tuple, len(r.Tuples))}
+	for i, t := range r.Tuples {
+		c.Tuples[i] = t.Clone()
+	}
+	return c
+}
+
+// Project returns a new relation with only the named attributes, in the
+// given order. The result's key is cleared unless all key attributes
+// survive the projection.
+func (r *Relation) Project(attrs []string) (*Relation, error) {
+	idx, err := r.Schema.Indices(attrs)
+	if err != nil {
+		return nil, err
+	}
+	key := r.Schema.Key
+	if !Subset(key, attrs) {
+		key = nil
+	}
+	out := NewRelation(NewSchema(attrs, key))
+	for _, t := range r.Tuples {
+		nt := make(Tuple, len(idx))
+		for i, j := range idx {
+			nt[i] = t[j]
+		}
+		out.Add(nt)
+	}
+	return out, nil
+}
+
+// KeyOf encodes the values at the given positions into a hashable string.
+func KeyOf(t Tuple, idx []int) string {
+	var b []byte
+	for _, i := range idx {
+		b = t[i].EncodeKey(b)
+	}
+	return string(b)
+}
+
+// TupleKey encodes a whole tuple into a hashable string.
+func TupleKey(t Tuple) string {
+	var b []byte
+	for _, v := range t {
+		b = v.EncodeKey(b)
+	}
+	return string(b)
+}
+
+// SortTuples sorts tuples lexicographically (by SortCompare) for
+// deterministic output; it sorts in place and returns its argument.
+func SortTuples(ts []Tuple) []Tuple {
+	sort.SliceStable(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if c := a[k].SortCompare(b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return len(a) < len(b)
+	})
+	return ts
+}
+
+// Sorted returns a copy of the relation with deterministically ordered
+// tuples. Useful for tests and printing.
+func (r *Relation) Sorted() *Relation {
+	c := r.Clone()
+	SortTuples(c.Tuples)
+	return c
+}
+
+// EqualSet reports whether two relations contain the same bag of tuples
+// (ignoring order) over identical attribute lists.
+func (r *Relation) EqualSet(o *Relation) bool {
+	if len(r.Tuples) != len(o.Tuples) {
+		return false
+	}
+	if strings.Join(r.Schema.Attrs, ",") != strings.Join(o.Schema.Attrs, ",") {
+		return false
+	}
+	counts := make(map[string]int, len(r.Tuples))
+	for _, t := range r.Tuples {
+		counts[TupleKey(t)]++
+	}
+	for _, t := range o.Tuples {
+		k := TupleKey(t)
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as a small ASCII table for debugging.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.Schema.String())
+	b.WriteString("\n")
+	for _, t := range r.Tuples {
+		b.WriteString("  ")
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

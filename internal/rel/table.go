@@ -1,0 +1,371 @@
+package rel
+
+import (
+	"fmt"
+)
+
+// State selects which version of a stored table an access refers to during
+// a maintenance epoch: the pre-state (before the logged modifications were
+// applied) or the post-state (after). Outside an epoch both refer to the
+// live data.
+type State uint8
+
+// The two table states of deferred IVM.
+const (
+	StatePost State = iota
+	StatePre
+)
+
+// String returns "pre" or "post".
+func (s State) String() string {
+	if s == StatePre {
+		return "pre"
+	}
+	return "post"
+}
+
+// Table is a stored relation: a base table, a materialized view, or an
+// intermediate cache. It maintains a primary-key hash index, lazily built
+// secondary hash indexes, and an optional pre-state snapshot used during a
+// maintenance epoch (deferred IVM).
+//
+// Every read performed through Scan/Get/Lookup and every write performed
+// through Insert/Delete/Update is charged to the attached CostCounter,
+// implementing the access-count cost model of the paper's Section 6.
+type Table struct {
+	name    string
+	schema  Schema
+	keyIdx  []int
+	rows    []Tuple
+	byKey   map[string]int
+	counter *CostCounter
+
+	secondary map[string]*hashIndex // post-state secondary indexes
+
+	inEpoch      bool
+	epochMutated bool // any write since BeginEpoch
+	preRows      []Tuple
+	preByKey     map[string]int
+	preSecondary map[string]*hashIndex
+}
+
+// NewTable creates an empty stored table. The schema must declare a
+// non-empty primary key: the paper's setting requires base tables with keys,
+// and views/caches are keyed by their inferred ID attributes.
+func NewTable(name string, schema Schema) (*Table, error) {
+	if len(schema.Key) == 0 {
+		return nil, fmt.Errorf("rel: table %q needs a primary key", name)
+	}
+	idx, err := schema.Indices(schema.Key)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		name:      name,
+		schema:    schema.Clone(),
+		keyIdx:    idx,
+		byKey:     make(map[string]int),
+		secondary: make(map[string]*hashIndex),
+	}, nil
+}
+
+// MustNewTable is NewTable that panics on error, for generators and tests.
+func MustNewTable(name string, schema Schema) *Table {
+	t, err := NewTable(name, schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the table's name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table's schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// SetCounter attaches the cost counter charged by subsequent accesses.
+func (t *Table) SetCounter(c *CostCounter) { t.counter = c }
+
+// Len returns the number of live (post-state) rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// LenPre returns the number of pre-state rows (same as Len outside an epoch).
+func (t *Table) LenPre() int {
+	if t.inEpoch {
+		return len(t.preRows)
+	}
+	return len(t.rows)
+}
+
+func (t *Table) charge(reads, lookups, writes int64) {
+	if t.counter != nil {
+		t.counter.TupleReads += reads
+		t.counter.IndexLookups += lookups
+		t.counter.TupleWrites += writes
+	}
+}
+
+func (t *Table) keyOf(row Tuple) string { return KeyOf(row, t.keyIdx) }
+
+func (t *Table) stateRows(s State) ([]Tuple, map[string]int) {
+	if s == StatePre && t.inEpoch {
+		return t.preRows, t.preByKey
+	}
+	return t.rows, t.byKey
+}
+
+// Rows returns the raw tuples of the requested state without charging the
+// cost counter. It exists for verification, snapshotting and test oracles;
+// plan evaluation must use Scan. Callers must not mutate the tuples.
+func (t *Table) Rows(s State) []Tuple {
+	rows, _ := t.stateRows(s)
+	return rows
+}
+
+// Scan reads every tuple of the requested state, charging one tuple read
+// per row. Callers must not mutate the returned tuples.
+func (t *Table) Scan(s State) []Tuple {
+	rows, _ := t.stateRows(s)
+	t.charge(int64(len(rows)), 0, 0)
+	return rows
+}
+
+// Relation materializes the requested state as a Relation, without
+// charging the counter (snapshot utility).
+func (t *Table) Relation(s State) *Relation {
+	rows, _ := t.stateRows(s)
+	r := NewRelation(t.schema)
+	r.Tuples = append(r.Tuples, rows...)
+	return r
+}
+
+// Get fetches the row with the given primary-key values, charging one
+// index lookup plus one tuple read when found.
+func (t *Table) Get(s State, key []Value) (Tuple, bool) {
+	rows, byKey := t.stateRows(s)
+	kt := make(Tuple, len(key))
+	copy(kt, key)
+	k := TupleKey(kt)
+	t.charge(0, 1, 0)
+	i, ok := byKey[k]
+	if !ok {
+		return nil, false
+	}
+	t.charge(1, 0, 0)
+	return rows[i], true
+}
+
+// Lookup probes a (lazily built) secondary hash index over the named
+// attributes, charging one index lookup plus one tuple read per match.
+// Building the index itself is not charged: the paper's analysis assumes
+// the necessary indexes exist.
+func (t *Table) Lookup(s State, attrs []string, vals []Value) ([]Tuple, error) {
+	idx, err := t.indexOn(s, attrs)
+	if err != nil {
+		return nil, err
+	}
+	rows, _ := t.stateRows(s)
+	t.charge(0, 1, 0)
+	positions := idx.get(vals)
+	out := make([]Tuple, 0, len(positions))
+	for _, p := range positions {
+		out = append(out, rows[p])
+	}
+	t.charge(int64(len(out)), 0, 0)
+	return out, nil
+}
+
+// Insert adds a row, failing on a primary-key conflict. One tuple write is
+// charged.
+func (t *Table) Insert(row Tuple) error {
+	if len(row) != len(t.schema.Attrs) {
+		return fmt.Errorf("rel: table %q: tuple width %d != schema width %d", t.name, len(row), len(t.schema.Attrs))
+	}
+	k := t.keyOf(row)
+	if _, dup := t.byKey[k]; dup {
+		return fmt.Errorf("rel: table %q: duplicate key %s", t.name, Tuple(row).String())
+	}
+	pos := len(t.rows)
+	t.byKey[k] = pos
+	t.rows = append(t.rows, row.Clone())
+	t.indexesAdd(t.rows[pos], pos)
+	t.epochMutated = true
+	t.charge(0, 0, 1)
+	return nil
+}
+
+// MustInsert is Insert that panics on error, for generators and tests.
+func (t *Table) MustInsert(vals ...Value) {
+	if err := t.Insert(Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// InsertIfAbsent inserts the row unless an identical row already exists
+// (the APPLY semantics of insert i-diffs, Section 2). It returns an error
+// if a row with the same key but different non-key values exists, which
+// would be a primary-key violation and indicates a non-effective diff.
+// One index lookup is always charged; one write when the row is inserted.
+func (t *Table) InsertIfAbsent(row Tuple) (inserted bool, err error) {
+	if len(row) != len(t.schema.Attrs) {
+		return false, fmt.Errorf("rel: table %q: tuple width %d != schema width %d", t.name, len(row), len(t.schema.Attrs))
+	}
+	k := t.keyOf(row)
+	t.charge(0, 1, 0)
+	if i, ok := t.byKey[k]; ok {
+		if t.rows[i].Equal(row) {
+			return false, nil
+		}
+		return false, fmt.Errorf("rel: table %q: key conflict inserting %s over %s", t.name, row.String(), t.rows[i].String())
+	}
+	pos := len(t.rows)
+	t.byKey[k] = pos
+	t.rows = append(t.rows, row.Clone())
+	t.indexesAdd(t.rows[pos], pos)
+	t.epochMutated = true
+	t.charge(0, 0, 1)
+	return true, nil
+}
+
+// DeleteKey removes the row with the given primary-key values if present,
+// charging one index lookup plus one write when a row is removed.
+func (t *Table) DeleteKey(key []Value) bool {
+	kt := make(Tuple, len(key))
+	copy(kt, key)
+	t.charge(0, 1, 0)
+	i, ok := t.byKey[TupleKey(kt)]
+	if !ok {
+		return false
+	}
+	t.removeAt(i)
+	t.charge(0, 0, 1)
+	return true
+}
+
+// DeleteWhere removes every row whose attrs equal vals (an ID-subset
+// delete, the APPLY semantics of delete i-diffs). It charges one index
+// lookup plus one write per removed row, and returns the removal count.
+func (t *Table) DeleteWhere(attrs []string, vals []Value) (int, error) {
+	idx, err := t.indexOn(StatePost, attrs)
+	if err != nil {
+		return 0, err
+	}
+	t.charge(0, 1, 0)
+	positions := idx.get(vals)
+	if len(positions) == 0 {
+		return 0, nil
+	}
+	// Collect keys first: removeAt perturbs positions.
+	keys := make([]string, 0, len(positions))
+	for _, p := range positions {
+		keys = append(keys, t.keyOf(t.rows[p]))
+	}
+	for _, k := range keys {
+		if i, ok := t.byKey[k]; ok {
+			t.removeAt(i)
+			t.charge(0, 0, 1)
+		}
+	}
+	return len(keys), nil
+}
+
+// UpdateWhere updates every row whose attrs equal vals, overwriting the
+// setAttrs columns with setVals. It charges one index lookup plus one
+// write per updated row and returns the update count. Key attributes
+// cannot be updated (they are immutable in the paper's model).
+func (t *Table) UpdateWhere(attrs []string, vals []Value, setAttrs []string, setVals []Value) (int, error) {
+	for _, a := range setAttrs {
+		if Contains(t.schema.Key, a) {
+			return 0, fmt.Errorf("rel: table %q: cannot update key attribute %q", t.name, a)
+		}
+	}
+	setIdx, err := t.schema.Indices(setAttrs)
+	if err != nil {
+		return 0, err
+	}
+	idx, err := t.indexOn(StatePost, attrs)
+	if err != nil {
+		return 0, err
+	}
+	t.charge(0, 1, 0)
+	positions := idx.get(vals)
+	for _, p := range positions {
+		old := t.rows[p]
+		nr := old.Clone() // preserve pre-state snapshot aliasing
+		for i, j := range setIdx {
+			nr[j] = setVals[i]
+		}
+		t.rows[p] = nr
+		t.indexesUpdate(old, nr, p)
+		t.epochMutated = true
+		t.charge(0, 0, 1)
+	}
+	return len(positions), nil
+}
+
+// UpdateKey updates the single row with the given primary key. It charges
+// one index lookup plus one write when the row exists.
+func (t *Table) UpdateKey(key []Value, setAttrs []string, setVals []Value) (bool, error) {
+	n, err := t.UpdateWhere(t.schema.Key, key, setAttrs, setVals)
+	return n > 0, err
+}
+
+func (t *Table) removeAt(i int) {
+	t.epochMutated = true
+	t.indexesRemove(t.rows[i], i)
+	delete(t.byKey, t.keyOf(t.rows[i]))
+	last := len(t.rows) - 1
+	if i != last {
+		moved := t.rows[last]
+		t.rows[i] = moved
+		t.byKey[t.keyOf(moved)] = i
+		t.indexesMove(moved, last, i)
+	}
+	t.rows[last] = nil
+	t.rows = t.rows[:last]
+}
+
+// BeginEpoch snapshots the current contents as the pre-state. Subsequent
+// mutations affect only the post-state; Scan/Get/Lookup with StatePre see
+// the snapshot. Snapshotting is O(n) in row references and is not charged
+// to the cost counter (it models the DBMS's ability to read the pre-state
+// from diffs/log, per Section 4's Input_pre).
+func (t *Table) BeginEpoch() {
+	if t.inEpoch {
+		return
+	}
+	t.inEpoch = true
+	t.epochMutated = false
+	t.preRows = append([]Tuple(nil), t.rows...)
+	t.preByKey = make(map[string]int, len(t.byKey))
+	for k, v := range t.byKey {
+		t.preByKey[k] = v
+	}
+	t.preSecondary = make(map[string]*hashIndex)
+}
+
+// EndEpoch discards the pre-state snapshot.
+func (t *Table) EndEpoch() {
+	t.inEpoch = false
+	t.epochMutated = false
+	t.preRows = nil
+	t.preByKey = nil
+	t.preSecondary = nil
+}
+
+// InEpoch reports whether a maintenance epoch is active.
+func (t *Table) InEpoch() bool { return t.inEpoch }
+
+// Clone returns an independent deep copy of the table's post-state (no
+// epoch state, no counter).
+func (t *Table) Clone() *Table {
+	c := MustNewTable(t.name, t.schema)
+	for _, r := range t.rows {
+		if err := c.Insert(r); err != nil {
+			panic(err)
+		}
+	}
+	c.counter = nil
+	return c
+}

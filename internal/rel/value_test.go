@@ -1,0 +1,235 @@
+package rel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Bool(true), KindBool},
+		{Int(7), KindInt},
+		{Float(2.5), KindFloat},
+		{String("x"), KindString},
+	}
+	for _, c := range cases {
+		if c.v.Kind != c.kind {
+			t.Errorf("value %v: kind = %v, want %v", c.v, c.v.Kind, c.kind)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if got := Int(42).AsInt(); got != 42 {
+		t.Errorf("Int(42).AsInt() = %d", got)
+	}
+	if got := Float(2.75).AsFloat(); got != 2.75 {
+		t.Errorf("Float(2.75).AsFloat() = %g", got)
+	}
+	if got := Float(2.75).AsInt(); got != 2 {
+		t.Errorf("Float(2.75).AsInt() = %d, want 2", got)
+	}
+	if got := Int(3).AsFloat(); got != 3.0 {
+		t.Errorf("Int(3).AsFloat() = %g", got)
+	}
+	if got := String("hi").Text(); got != "hi" {
+		t.Errorf("String(hi).Text() = %q", got)
+	}
+	if Int(1).Text() != "" {
+		t.Error("Int(1).Text() should be empty")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("AsBool misbehaves")
+	}
+	if Null().AsBool() {
+		t.Error("Null().AsBool() should be false")
+	}
+}
+
+func TestValueEqualNullSemantics(t *testing.T) {
+	if Null().Equal(Null()) {
+		t.Error("NULL = NULL must be false under Equal (SQL semantics)")
+	}
+	if !Null().Same(Null()) {
+		t.Error("NULL must be Same as NULL (grouping semantics)")
+	}
+	if Null().Equal(Int(0)) || Int(0).Equal(Null()) {
+		t.Error("NULL never equals a non-null")
+	}
+	if Null().Same(Int(0)) {
+		t.Error("NULL is not Same as 0")
+	}
+}
+
+func TestValueNumericCrossKind(t *testing.T) {
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("3 should equal 3.0")
+	}
+	if !Int(3).Same(Float(3.0)) {
+		t.Error("3 should be Same as 3.0")
+	}
+	if c, ok := Int(2).Compare(Float(2.5)); !ok || c != -1 {
+		t.Errorf("2 vs 2.5: got (%d,%v)", c, ok)
+	}
+	if c, ok := Float(3.5).Compare(Int(3)); !ok || c != 1 {
+		t.Errorf("3.5 vs 3: got (%d,%v)", c, ok)
+	}
+}
+
+func TestValueCompareMismatch(t *testing.T) {
+	if _, ok := Int(1).Compare(String("1")); ok {
+		t.Error("int vs string must be incomparable")
+	}
+	if _, ok := Bool(true).Compare(Int(1)); ok {
+		t.Error("bool vs int must be incomparable")
+	}
+	if c, ok := String("a").Compare(String("b")); !ok || c != -1 {
+		t.Errorf("a vs b: got (%d,%v)", c, ok)
+	}
+	if c, ok := Bool(false).Compare(Bool(true)); !ok || c != -1 {
+		t.Errorf("false vs true: got (%d,%v)", c, ok)
+	}
+}
+
+func TestEncodeKeyInjective(t *testing.T) {
+	distinct := []Value{
+		Null(), Bool(false), Bool(true), Int(0), Int(1), Int(-1),
+		Float(0.5), Float(-0.5), String(""), String("0"), String("a"),
+		String("a\x00b"), String("a\x01b"),
+	}
+	seen := map[string]Value{}
+	for _, v := range distinct {
+		k := string(v.EncodeKey(nil))
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision between %v and %v", prev, v)
+		}
+		seen[k] = v
+	}
+}
+
+func TestEncodeKeyNumericCanonical(t *testing.T) {
+	a := string(Int(7).EncodeKey(nil))
+	b := string(Float(7.0).EncodeKey(nil))
+	if a != b {
+		t.Errorf("Int(7) and Float(7.0) must encode identically: %q vs %q", a, b)
+	}
+	c := string(Float(7.5).EncodeKey(nil))
+	if a == c {
+		t.Error("Float(7.5) must not collide with 7")
+	}
+}
+
+// Property: EncodeKey agrees with Same for int/float pairs.
+func TestEncodeKeyAgreesWithSame(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Float(float64(b))
+		sameKey := string(va.EncodeKey(nil)) == string(vb.EncodeKey(nil))
+		return sameKey == va.Same(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: string encoding is injective even with embedded separators.
+func TestEncodeKeyStringsInjective(t *testing.T) {
+	f := func(a, b string) bool {
+		va, vb := String(a), String(b)
+		sameKey := string(va.EncodeKey(nil)) == string(vb.EncodeKey(nil))
+		return sameKey == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tuple key encoding is injective across tuple boundaries: the
+// concatenation of encodings must not allow ("ab","c") to collide with
+// ("a","bc").
+func TestTupleKeyBoundaries(t *testing.T) {
+	t1 := Tuple{String("ab"), String("c")}
+	t2 := Tuple{String("a"), String("bc")}
+	if TupleKey(t1) == TupleKey(t2) {
+		t.Error("tuple key must be injective across value boundaries")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		got, want Value
+	}{
+		{Add(Int(2), Int(3)), Int(5)},
+		{Sub(Int(2), Int(3)), Int(-1)},
+		{Mul(Int(4), Int(3)), Int(12)},
+		{Div(Int(7), Int(2)), Float(3.5)},
+		{Add(Int(2), Float(0.5)), Float(2.5)},
+		{Mul(Float(1.5), Int(2)), Float(3)},
+	}
+	for i, c := range cases {
+		if !c.got.Same(c.want) {
+			t.Errorf("case %d: got %v, want %v", i, c.got, c.want)
+		}
+	}
+	if !Div(Int(1), Int(0)).IsNull() {
+		t.Error("division by zero must be NULL")
+	}
+	if !Add(Null(), Int(1)).IsNull() {
+		t.Error("NULL + 1 must be NULL")
+	}
+	if !Add(String("x"), Int(1)).IsNull() {
+		t.Error("string + int must be NULL")
+	}
+}
+
+func TestSortCompareTotalOrder(t *testing.T) {
+	vals := []Value{String("z"), Int(5), Null(), Bool(true), Float(1.5), Bool(false), Int(-3)}
+	// Antisymmetry and ordering sanity.
+	for _, a := range vals {
+		for _, b := range vals {
+			ca, cb := a.SortCompare(b), b.SortCompare(a)
+			if ca != -cb {
+				t.Errorf("SortCompare not antisymmetric for %v, %v", a, b)
+			}
+		}
+	}
+	if Null().SortCompare(Bool(false)) != -1 {
+		t.Error("NULL must sort first")
+	}
+	if Int(5).SortCompare(String("a")) != -1 {
+		t.Error("numbers sort before strings")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":  Null(),
+		"true":  Bool(true),
+		"42":    Int(42),
+		"2.5":   Float(2.5),
+		`"hi"`:  String("hi"),
+		"-1":    Int(-1),
+		"false": Bool(false),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestFloatEdgeEncoding(t *testing.T) {
+	// Very large floats should still encode deterministically.
+	big := Float(1e300)
+	if string(big.EncodeKey(nil)) == string(Float(1e299).EncodeKey(nil)) {
+		t.Error("distinct large floats collide")
+	}
+	inf := Float(math.Inf(1))
+	if string(inf.EncodeKey(nil)) == string(big.EncodeKey(nil)) {
+		t.Error("inf collides with large float")
+	}
+}

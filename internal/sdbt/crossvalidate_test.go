@@ -1,0 +1,72 @@
+package sdbt
+
+import (
+	"testing"
+
+	"idivm/internal/ivm"
+	"idivm/internal/rel"
+	"idivm/internal/workload"
+)
+
+// Cross-validation: SDBT and idIVM maintain the same view over the same
+// dataset and the same update stream; their contents must agree tuple for
+// tuple after every round. (Two independent implementations of the same
+// semantics checking each other.)
+func TestSDBTAgreesWithIdIVM(t *testing.T) {
+	p := workload.Defaults(250)
+	p.Devices, p.Fanout, p.DiffSize = 250, 4, 20
+
+	sds := workload.Build(p)
+	engine, err := New(sds, Streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids := workload.Build(p) // identical seed → identical data
+	sys := ivm.NewSystem(ids.DB)
+	if _, err := sys.RegisterView("V", ids.AggPlan(), ivm.ModeID); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 4; round++ {
+		if err := sds.ApplyPriceUpdates(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ids.ApplyPriceUpdates(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sds.ApplyCategoryFlips(6); err != nil {
+			t.Fatal(err)
+		}
+		if err := ids.ApplyCategoryFlips(6); err != nil {
+			t.Fatal(err)
+		}
+
+		if err := engine.Maintain(); err != nil {
+			t.Fatal(err)
+		}
+		sds.DB.ResetLog()
+		if _, err := sys.MaintainAll(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Compare group totals.
+		want := map[string]rel.Value{}
+		for _, row := range engine.ViewTable().Rows(rel.StatePost) {
+			want[row[0].String()] = row[1]
+		}
+		vt, _ := ids.DB.Table("V")
+		got := map[string]rel.Value{}
+		for _, row := range vt.Rows(rel.StatePost) {
+			got[row[0].String()] = row[1]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: group counts differ: sdbt=%d idivm=%d", round, len(want), len(got))
+		}
+		for k, v := range want {
+			if gv, ok := got[k]; !ok || !gv.Same(v) {
+				t.Fatalf("round %d: group %s: sdbt=%v idivm=%v", round, k, v, gv)
+			}
+		}
+	}
+}

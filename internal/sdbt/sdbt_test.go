@@ -1,0 +1,106 @@
+package sdbt
+
+import (
+	"testing"
+
+	"idivm/internal/workload"
+)
+
+func smallParams() workload.Params {
+	p := workload.Defaults(300)
+	p.Devices = 300
+	p.Fanout = 4
+	p.DiffSize = 25
+	return p
+}
+
+func TestFixedPriceUpdates(t *testing.T) {
+	ds := workload.Build(smallParams())
+	e, err := New(ds, Fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		if err := ds.ApplyPriceUpdates(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Maintain(); err != nil {
+			t.Fatal(err)
+		}
+		ds.DB.ResetLog()
+		if err := e.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFixedRejectsOtherStreams(t *testing.T) {
+	ds := workload.Build(smallParams())
+	e, err := New(ds, Fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.ApplyCategoryFlips(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Maintain(); err == nil {
+		t.Fatal("fixed variant must reject non-parts changes")
+	}
+}
+
+func TestStreamsFullChurn(t *testing.T) {
+	ds := workload.Build(smallParams())
+	e, err := New(ds, Streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		if err := ds.ApplyPriceUpdates(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.ApplyCategoryFlips(8); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.ApplyPartChurn(4, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Maintain(); err != nil {
+			t.Fatal(err)
+		}
+		ds.DB.ResetLog()
+		if err := e.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The paper's Section 7.3 ordering for a price-update workload:
+// SDBT-fixed ≤ idIVM-style costs < SDBT-streams.
+func TestVariantCostOrdering(t *testing.T) {
+	run := func(v Variant) int64 {
+		ds := workload.Build(smallParams())
+		e, err := New(ds, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.ApplyPriceUpdates(); err != nil {
+			t.Fatal(err)
+		}
+		ds.DB.Counter().Reset()
+		if err := e.Maintain(); err != nil {
+			t.Fatal(err)
+		}
+		total := ds.DB.Counter().Total()
+		ds.DB.ResetLog()
+		if err := e.Check(); err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	fixed := run(Fixed)
+	streams := run(Streams)
+	t.Logf("accesses: fixed=%d streams=%d", fixed, streams)
+	if fixed >= streams {
+		t.Fatalf("fixed (%d) must be cheaper than streams (%d)", fixed, streams)
+	}
+}
