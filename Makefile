@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check build vet test race lint
+
+# check is the full local gate, identical to CI: build, vet, race-enabled
+# tests, and the repository linter. Any lint finding fails the build.
+check: build vet race lint
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/ivmlint ./...

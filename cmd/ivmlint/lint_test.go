@@ -1,0 +1,139 @@
+package main
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks the seeded regression package with all rules on.
+func loadFixture(t *testing.T) []finding {
+	t.Helper()
+	root, mod, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	im := newModuleImporter(root, mod, fset)
+	dir := filepath.Join("testdata", "src", "fixture")
+	pkg, err := loadPackage(im, dir, "fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lintPackage(pkg, ruleSet{MapRange: true, DeepEqual: true, BindName: true})
+}
+
+// ruleCount tallies findings per rule.
+func ruleCount(fs []finding) map[string]int {
+	out := map[string]int{}
+	for _, f := range fs {
+		out[f.Rule]++
+	}
+	return out
+}
+
+func TestFixtureSeededRegressionsFlagged(t *testing.T) {
+	fs := loadFixture(t)
+	counts := ruleCount(fs)
+	if counts["maprange"] != 1 {
+		t.Errorf("maprange findings = %d, want exactly the unsorted range: %v", counts["maprange"], fs)
+	}
+	if counts["deepequal"] != 1 {
+		t.Errorf("deepequal findings = %d, want 1: %v", counts["deepequal"], fs)
+	}
+	if counts["bindname"] != 2 {
+		t.Errorf("bindname findings = %d, want the two rogue constructors: %v", counts["bindname"], fs)
+	}
+	for _, f := range fs {
+		if !strings.HasSuffix(f.Pos.Filename, "fixture.go") || f.Pos.Line <= 0 {
+			t.Errorf("finding without a real position: %v", f)
+		}
+	}
+}
+
+// The two suppression forms (same line, preceding line) and the blessed
+// constructor must all stay quiet; the flagged map range must be the one in
+// UnsortedRange.
+func TestFixtureSuppressionsRespected(t *testing.T) {
+	fs := loadFixture(t)
+	for _, f := range fs {
+		if f.Rule != "maprange" {
+			continue
+		}
+		// The sole maprange finding must sit inside UnsortedRange, which
+		// spans the head of the file — well before the suppressed loops.
+		if f.Pos.Line > 22 {
+			t.Errorf("maprange flagged a suppressed loop at line %d: %v", f.Pos.Line, f)
+		}
+	}
+	for _, f := range fs {
+		if f.Rule == "bindname" && strings.Contains(f.Msg, "Δ") {
+			t.Errorf("bindname flagged an innocent Sprintf: %v", f)
+		}
+	}
+}
+
+func TestFindingRendering(t *testing.T) {
+	f := finding{Pos: token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Rule: "maprange", Msg: "m"}
+	if got := f.String(); got != "x.go:3:7: maprange: m" {
+		t.Errorf("finding rendering = %q", got)
+	}
+}
+
+// The real tree must be clean: this is the same gate CI runs via
+// `go run ./cmd/ivmlint ./...`, executed in-process for a fast signal.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module")
+	}
+	root, mod, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := expandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	im := newModuleImporter(root, mod, fset)
+	for _, dir := range dirs {
+		relDir, err := filepath.Rel(root, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		importPath := mod
+		if relDir != "." {
+			importPath = mod + "/" + filepath.ToSlash(relDir)
+		}
+		pkg, err := loadPackage(im, dir, importPath)
+		if err != nil {
+			t.Fatalf("%s: %v", importPath, err)
+		}
+		for _, f := range lintPackage(pkg, rulesFor(mod, importPath)) {
+			t.Errorf("%v", f)
+		}
+	}
+}
+
+// rulesFor routes the determinism rule to the generation packages only and
+// the hot-path rule to the executor and relation layers.
+func TestRulesFor(t *testing.T) {
+	cases := []struct {
+		path string
+		want ruleSet
+	}{
+		{"idivm/internal/ivm", ruleSet{MapRange: true, DeepEqual: true, BindName: true}},
+		{"idivm/internal/algebra", ruleSet{MapRange: true, BindName: true}},
+		{"idivm/internal/sqlview", ruleSet{MapRange: true, BindName: true}},
+		{"idivm/internal/rel", ruleSet{DeepEqual: true, BindName: true}},
+		{"idivm/internal/db", ruleSet{BindName: true}},
+		{"idivm/cmd/ivmlint", ruleSet{BindName: true}},
+	}
+	for _, c := range cases {
+		if got := rulesFor("idivm", c.path); got != c.want {
+			t.Errorf("rulesFor(%s) = %+v, want %+v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// pkgInfo is one type-checked package: the parsed files of its directory
+// (test files excluded — generation determinism and hot-path rules are
+// about production code) plus the type information the rules consult.
+type pkgInfo struct {
+	Dir        string
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Info       *types.Info
+}
+
+// moduleImporter resolves imports without go/packages or any external
+// tooling: module-internal paths ("idivm/...") map onto the repository's
+// directories and are type-checked recursively; everything else is the
+// standard library, resolved from GOROOT source.
+type moduleImporter struct {
+	root  string // module root directory (holds go.mod)
+	mod   string // module path from go.mod
+	fset  *token.FileSet
+	cache map[string]*types.Package
+	std   types.ImporterFrom
+}
+
+func newModuleImporter(root, mod string, fset *token.FileSet) *moduleImporter {
+	return &moduleImporter{
+		root:  root,
+		mod:   mod,
+		fset:  fset,
+		cache: map[string]*types.Package{},
+		std:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Import implements types.Importer.
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (im *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := im.cache[path]; ok {
+		return p, nil
+	}
+	if path == im.mod || strings.HasPrefix(path, im.mod+"/") {
+		sub := strings.TrimPrefix(strings.TrimPrefix(path, im.mod), "/")
+		pkg, _, err := im.checkDir(filepath.Join(im.root, sub), path, nil)
+		if err != nil {
+			return nil, err
+		}
+		im.cache[path] = pkg
+		return pkg, nil
+	}
+	p, err := im.std.ImportFrom(path, dir, mode)
+	if err != nil {
+		return nil, err
+	}
+	im.cache[path] = p
+	return p, nil
+}
+
+// checkDir parses and type-checks the non-test files of one directory,
+// returning the checked package and the exact ASTs the checker saw. When
+// info is non-nil it is populated for rule consumption.
+func (im *moduleImporter) checkDir(dir, importPath string, info *types.Info) (*types.Package, []*ast.File, error) {
+	files, err := parseDir(im.fset, dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	conf := types.Config{Importer: im}
+	pkg, err := conf.Check(importPath, im.fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return pkg, files, nil
+}
+
+// parseDir parses every non-test .go file of a directory, with comments
+// (the suppression annotations live there).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// loadPackage type-checks the package in dir and returns it with full type
+// info for linting.
+func loadPackage(im *moduleImporter, dir, importPath string) (*pkgInfo, error) {
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	_, files, err := im.checkDir(dir, importPath, info)
+	if err != nil {
+		return nil, err
+	}
+	return &pkgInfo{Dir: dir, ImportPath: importPath, Fset: im.fset, Files: files, Info: info}, nil
+}
+
+// moduleRoot walks upward from start to the directory holding go.mod and
+// returns it along with the module path declared there.
+func moduleRoot(start string) (root, mod string, err error) {
+	dir, err := filepath.Abs(start)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "module ") {
+					return dir, strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+				}
+			}
+			return "", "", fmt.Errorf("go.mod in %s has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", start)
+		}
+		dir = parent
+	}
+}

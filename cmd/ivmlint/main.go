@@ -1,0 +1,172 @@
+// Command ivmlint is the repository's determinism and hot-path linter,
+// built purely on the standard library's go/ast and go/types (the module
+// stays dependency-free). It walks the requested packages and flags:
+//
+//   - maprange — map-range loops in the script-generation packages
+//     (internal/ivm, internal/algebra, internal/sqlview): Go randomizes map
+//     iteration order, so an unsorted range there makes generated Δ-scripts
+//     differ between runs;
+//   - deepequal — reflect.DeepEqual in executor hot paths (internal/ivm,
+//     internal/rel), where the typed comparators of internal/rel must be
+//     used instead;
+//   - bindname — fmt.Sprintf calls fabricating "base:…"/"cache:…" binding
+//     names outside the blessed constructors (BaseBindName, freshCache).
+//
+// Usage:
+//
+//	go run ./cmd/ivmlint ./...           # whole module
+//	go run ./cmd/ivmlint ./internal/...  # one subtree
+//
+// Exit status: 0 clean, 1 findings, 2 load/typecheck failure. Deliberate
+// order-free map iterations are suppressed with a `//ivmlint:allow
+// maprange` comment on the same or the preceding line.
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	root, mod, err := moduleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ivmlint:", err)
+		os.Exit(2)
+	}
+	dirs, err := expandPatterns(root, args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ivmlint:", err)
+		os.Exit(2)
+	}
+
+	fset := token.NewFileSet()
+	im := newModuleImporter(root, mod, fset)
+	var findings []finding
+	failed := false
+	for _, dir := range dirs {
+		relDir, err := filepath.Rel(root, dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ivmlint:", err)
+			os.Exit(2)
+		}
+		importPath := mod
+		if relDir != "." {
+			importPath = mod + "/" + filepath.ToSlash(relDir)
+		}
+		pkg, err := loadPackage(im, dir, importPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ivmlint: %s: %v\n", importPath, err)
+			failed = true
+			continue
+		}
+		findings = append(findings, lintPackage(pkg, rulesFor(mod, importPath))...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	switch {
+	case failed:
+		os.Exit(2)
+	case len(findings) > 0:
+		fmt.Fprintf(os.Stderr, "ivmlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// expandPatterns resolves ./...-style package patterns into the module's
+// package directories: directories containing at least one non-test .go
+// file, skipping testdata, hidden, and underscore-prefixed directories.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(dir string) error {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return err
+		}
+		if !seen[abs] {
+			seen[abs] = true
+			out = append(out, abs)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		recursive := false
+		dir := pat
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			recursive = true
+			dir = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if dir == "" || dir == "." {
+				dir = root
+			}
+		}
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(root, dir)
+		}
+		if !recursive {
+			if !hasGoFiles(dir) {
+				// A typo'd path silently passing would defeat the gate.
+				return nil, fmt.Errorf("no buildable Go files in %s", dir)
+			}
+			if err := add(dir); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				return add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// hasGoFiles reports whether the directory holds at least one buildable
+// non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// finding is one lint violation.
+type finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// String renders a finding in the conventional file:line:col form.
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// ruleSet selects which rules run on a package; main derives it from the
+// package's import path, tests enable everything.
+type ruleSet struct {
+	// MapRange flags ranging over a map: Go randomizes iteration order, so
+	// any map range in script-generation code is a nondeterministic-output
+	// bug unless the keys are collected and sorted first. Suppress a
+	// deliberate order-free iteration with `//ivmlint:allow maprange` on
+	// the same or the preceding line.
+	MapRange bool
+	// DeepEqual flags reflect.DeepEqual in executor hot paths: tuple and
+	// value comparison must go through the typed internal/rel comparators.
+	DeepEqual bool
+	// BindName flags fmt.Sprintf calls that fabricate "base:…" / "cache:…"
+	// binding names outside the blessed constructors, which would bypass
+	// the single point of truth for the executor's naming scheme.
+	BindName bool
+}
+
+// bindNameConstructors are the only functions allowed to build executor
+// binding names from format strings.
+var bindNameConstructors = map[string]bool{
+	"BaseBindName": true,
+	"freshCache":   true,
+}
+
+// lintPackage runs the enabled rules over a package and returns the
+// findings in file/position order.
+func lintPackage(p *pkgInfo, rules ruleSet) []finding {
+	var out []finding
+	for _, f := range p.Files {
+		allowed := allowLines(p.Fset, f)
+		if rules.MapRange {
+			out = append(out, checkMapRange(p, f, allowed)...)
+		}
+		if rules.DeepEqual {
+			out = append(out, checkDeepEqual(p, f)...)
+		}
+		if rules.BindName {
+			out = append(out, checkBindName(p, f)...)
+		}
+	}
+	return out
+}
+
+// allowLines collects, per rule name, the source lines carrying an
+// `//ivmlint:allow <rule>` annotation. An annotation suppresses a finding
+// on its own line or the line directly below it.
+func allowLines(fset *token.FileSet, f *ast.File) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "ivmlint:allow ") {
+				continue
+			}
+			rest := strings.TrimPrefix(text, "ivmlint:allow ")
+			rule := rest
+			if i := strings.IndexAny(rest, " \t—-"); i > 0 {
+				rule = rest[:i]
+			}
+			if out[rule] == nil {
+				out[rule] = map[int]bool{}
+			}
+			out[rule][fset.Position(c.Pos()).Line] = true
+		}
+	}
+	return out
+}
+
+func suppressed(allowed map[string]map[int]bool, rule string, line int) bool {
+	lines := allowed[rule]
+	return lines != nil && (lines[line] || lines[line-1])
+}
+
+// checkMapRange flags `for … := range m` statements where m is map-typed.
+func checkMapRange(p *pkgInfo, f *ast.File, allowed map[string]map[int]bool) []finding {
+	var out []finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		pos := p.Fset.Position(rs.Pos())
+		if suppressed(allowed, "maprange", pos.Line) {
+			return true
+		}
+		out = append(out, finding{Pos: pos, Rule: "maprange",
+			Msg: "map iteration order is randomized; collect and sort the keys " +
+				"(or annotate an order-free loop with //ivmlint:allow maprange)"})
+		return true
+	})
+	return out
+}
+
+// checkDeepEqual flags calls and references to reflect.DeepEqual.
+func checkDeepEqual(p *pkgInfo, f *ast.File) []finding {
+	var out []finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "DeepEqual" {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Info.Uses[id].(*types.PkgName)
+		if !ok || pn.Imported().Path() != "reflect" {
+			return true
+		}
+		out = append(out, finding{Pos: p.Fset.Position(sel.Pos()), Rule: "deepequal",
+			Msg: "reflect.DeepEqual in an executor hot path; use the typed comparators in internal/rel"})
+		return true
+	})
+	return out
+}
+
+// checkBindName flags fmt.Sprintf calls whose format literal fabricates a
+// "base:…" or "cache:…" binding name outside the blessed constructors.
+func checkBindName(p *pkgInfo, f *ast.File) []finding {
+	var out []finding
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		if bindNameConstructors[fn.Name.Name] {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Sprintf" {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "fmt" {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			val := strings.Trim(lit.Value, "`\"")
+			if strings.HasPrefix(val, "base:") || strings.HasPrefix(val, "cache:") {
+				out = append(out, finding{Pos: p.Fset.Position(call.Pos()), Rule: "bindname",
+					Msg: fmt.Sprintf("binding name %q built outside the blessed constructors "+
+						"(BaseBindName / freshCache)", val)})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// rulesFor derives the rule set applicable to an import path: determinism
+// rules for the script-generation packages, hot-path rules for the
+// executor and relation layers, naming discipline everywhere.
+func rulesFor(mod, importPath string) ruleSet {
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, mod), "/")
+	return ruleSet{
+		MapRange: rel == "internal/ivm" || rel == "internal/algebra" || rel == "internal/sqlview",
+		DeepEqual: rel == "internal/ivm" || rel == "internal/rel" ||
+			strings.HasPrefix(rel, "internal/ivm/") || strings.HasPrefix(rel, "internal/rel/"),
+		BindName: true,
+	}
+}

@@ -1,0 +1,69 @@
+// Package fixture is the linter's seeded regression corpus: each function
+// below commits one violation the rules must flag (or one suppressed case
+// they must not). It lives under testdata so the real lint runs skip it.
+package fixture
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// UnsortedRange iterates a map directly — the canonical nondeterminism bug
+// the maprange rule exists for. Expected finding: maprange.
+func UnsortedRange(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedRange collects keys under an annotation, then sorts: the blessed
+// idiom. The annotated line must NOT be flagged.
+func SortedRange(m map[string]int) []string {
+	var keys []string
+	for k := range m { //ivmlint:allow maprange
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PrecedingLineSuppression exercises the annotation-on-previous-line form.
+func PrecedingLineSuppression(m map[string]int) int {
+	n := 0
+	//ivmlint:allow maprange
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SlowCompare uses reflect.DeepEqual where a typed comparator belongs.
+// Expected finding: deepequal.
+func SlowCompare(a, b []int) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+// RogueBindName fabricates an executor binding name by hand instead of
+// going through BaseBindName. Expected finding: bindname.
+func RogueBindName(table string, i int) string {
+	return fmt.Sprintf("base:%s:%d", table, i)
+}
+
+// RogueCacheName fabricates a cache name. Expected finding: bindname.
+func RogueCacheName(view string, i int) string {
+	return fmt.Sprintf("cache:%s:%d", view, i)
+}
+
+// BaseBindName is blessed by name: the rule must stay quiet here even
+// though the body formats a "base:" name.
+func BaseBindName(table string, i int) string {
+	return fmt.Sprintf("base:%s:%d", table, i)
+}
+
+// InnocentSprintf formats a non-binding string; must not be flagged.
+func InnocentSprintf(x int) string {
+	return fmt.Sprintf("Δ%d", x)
+}

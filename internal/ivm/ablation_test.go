@@ -15,7 +15,14 @@ func runAblation(t *testing.T, opts ivm.GenOptions) int64 {
 	p.Devices, p.Fanout, p.DiffSize = 1200, 5, 40
 	ds := workload.Build(p)
 	s := ivm.NewSystem(ds.DB)
-	if _, err := s.RegisterView("V", ds.AggPlan(), ivm.ModeID, opts); err != nil {
+	v, err := s.RegisterView("V", ds.AggPlan(), ivm.ModeID, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RegisterView already ran the verifier; re-verify explicitly so the
+	// ablation variants (NoCache, NoMinimize) stay covered even if the
+	// registration-time gate is ever made optional.
+	if err := ivm.Verify(v.Script); err != nil {
 		t.Fatal(err)
 	}
 	if err := ds.ApplyPriceUpdates(); err != nil {

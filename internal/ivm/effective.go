@@ -2,6 +2,7 @@ package ivm
 
 import (
 	"fmt"
+	"sort"
 
 	"idivm/internal/db"
 	"idivm/internal/rel"
@@ -126,7 +127,13 @@ func CompactLog(log []db.Modification, schemaOf func(table string) (rel.Schema, 
 	}
 
 	out := make(map[string]*NetChange)
-	for table, a := range accs {
+	tables := make([]string, 0, len(accs))
+	for table := range accs { //ivmlint:allow maprange
+		tables = append(tables, table)
+	}
+	sort.Strings(tables)
+	for _, table := range tables {
+		a := accs[table]
 		nc := &NetChange{Table: table, Schema: a.schema}
 		for _, k := range a.order {
 			sl := a.slots[k]

@@ -88,7 +88,7 @@ func RunScriptVerified(d *db.Database, s *Script, bindings map[string]*rel.Relat
 
 func runScript(d *db.Database, s *Script, bindings map[string]*rel.Relation, verify bool) (*PhaseCosts, error) {
 	env := &execEnv{d: d, bind: make(map[string]*rel.Relation, len(bindings)+8)}
-	for k, v := range bindings {
+	for k, v := range bindings { //ivmlint:allow maprange — map-to-map copy, order-free
 		env.bind[k] = v
 	}
 	// Open epochs on the view and every cache.

@@ -94,11 +94,19 @@ type Script struct {
 	Caches    []CacheDef
 	Base      BaseDiffSchemas
 	TupleMode bool
+	// Minimized records whether pass 4 (Minimize) ran on this script; the
+	// verifier only enforces the Figure 8 residue checks when it did.
+	Minimized bool
 }
 
 // String renders the script for inspection.
 func (s *Script) String() string {
 	out := fmt.Sprintf("-- Δ-script for %s (tupleMode=%v)\n", s.View, s.TupleMode)
+	for _, table := range s.Base.Tables() {
+		for i, ds := range s.Base[table] {
+			out += fmt.Sprintf("BASE %s := %s\n", BaseBindName(table, i), ds)
+		}
+	}
 	for _, c := range s.Caches {
 		out += fmt.Sprintf("CACHE %s := %s\n", c.Name, c.Plan)
 	}

@@ -23,8 +23,8 @@ func Minimize(s *Script) {
 	// Map binding names to their diff schemas: base diffs plus every
 	// computed diff instance.
 	diffs := map[string]DiffSchema{}
-	for table, schemas := range s.Base {
-		for i, ds := range schemas {
+	for _, table := range s.Base.Tables() {
+		for i, ds := range s.Base[table] {
 			diffs[BaseBindName(table, i)] = ds
 		}
 	}
@@ -39,6 +39,7 @@ func Minimize(s *Script) {
 			cs.Plan = m.rewrite(cs.Plan)
 		}
 	}
+	s.Minimized = true
 }
 
 // MinimizePlan applies the minimizer to a standalone plan with the given

@@ -164,6 +164,46 @@ func randomMods(d *db.Database, rng *rand.Rand, nextPart *int) {
 	}
 }
 
+// Every random plan's Δ-script must pass the static verifier in all four
+// mode combinations (id/tuple × minimized/raw) — RegisterView itself only
+// exercises the minimized variants, so the raw ones are generated here.
+func TestRandomPlanScriptsVerify(t *testing.T) {
+	trials := 120
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		d := fig2DB(t)
+		g := &planGen{rng: rng, d: d}
+		plan := g.gen()
+		schemaOf := func(tb string) (rel.Schema, error) {
+			tab, err := d.Table(tb)
+			if err != nil {
+				return rel.Schema{}, err
+			}
+			return tab.Schema(), nil
+		}
+		base, err := ivm.GenerateBaseDiffSchemas(plan, schemaOf)
+		if err != nil {
+			t.Fatalf("trial %d: schemas: %v\nplan: %s", trial, err, plan)
+		}
+		for _, tuple := range []bool{false, true} {
+			for _, noMin := range []bool{false, true} {
+				s, err := ivm.Generate("V", plan, base, tuple, ivm.GenOptions{NoMinimize: noMin})
+				if err != nil {
+					t.Fatalf("trial %d tuple=%v noMin=%v: generate: %v\nplan: %s",
+						trial, tuple, noMin, err, plan)
+				}
+				if err := ivm.Verify(s); err != nil {
+					t.Fatalf("trial %d tuple=%v noMin=%v: %v\nplan: %s\nscript:\n%s",
+						trial, tuple, noMin, err, plan, s)
+				}
+			}
+		}
+	}
+}
+
 // Property: for RANDOM plans and random modification batches, incremental
 // maintenance equals recomputation, in both modes, with effectiveness
 // self-checking on. This is the broadest rule-combination net in the

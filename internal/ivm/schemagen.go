@@ -13,6 +13,19 @@ import (
 // the diff schemas to populate for each base table of a view.
 type BaseDiffSchemas map[string][]DiffSchema
 
+// Tables returns the base table names in sorted order. Every iteration over
+// the map that feeds script generation, rendering, or instance collection
+// must go through this accessor so scripts are byte-stable across runs
+// (Go's map iteration order is deliberately randomized).
+func (b BaseDiffSchemas) Tables() []string {
+	out := make([]string, 0, len(b))
+	for table := range b { //ivmlint:allow maprange
+		out = append(out, table)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // GenerateBaseDiffSchemas implements the Section 5 schema generator. For
 // each base table R(Ī, Ā) of the plan it creates:
 //

@@ -87,6 +87,11 @@ func (s *System) RegisterView(name string, plan algebra.Node, mode Mode, opts ..
 	if err != nil {
 		return nil, err
 	}
+	// The static gate: a script that fails verification never reaches
+	// materialization or the executor.
+	if err := Verify(script); err != nil {
+		return nil, err
+	}
 
 	// Materialize caches first (γ output caches may read input caches),
 	// then the view.
@@ -158,7 +163,8 @@ func (s *System) GenerateInstances(v *View) (map[string]*rel.Relation, int, erro
 	}
 	bindings := make(map[string]*rel.Relation)
 	total := 0
-	for table, schemas := range v.Script.Base {
+	for _, table := range v.Script.Base.Tables() {
+		schemas := v.Script.Base[table]
 		for i, ds := range schemas {
 			bindings[BaseBindName(table, i)] = rel.NewRelation(ds.RelSchema())
 		}

@@ -1,0 +1,422 @@
+package ivm
+
+import (
+	"fmt"
+
+	"idivm/internal/algebra"
+	"idivm/internal/rel"
+)
+
+// VerifyCode classifies the invariant a Δ-script violates. Each code names
+// one of the static well-formedness conditions a compiled script must meet
+// before the executor may run it; tests assert on codes, and operators can
+// key alerting off them.
+type VerifyCode string
+
+// The verifier's error codes.
+const (
+	// VerifyUnboundRef: a compute plan references a binding that is neither
+	// a base diff instance nor the result of an earlier compute step.
+	VerifyUnboundRef VerifyCode = "unbound-ref"
+	// VerifyUnknownTable: a plan or apply step touches a stored table that
+	// is neither the view, a declared cache, nor a base table of the view.
+	VerifyUnknownTable VerifyCode = "unknown-table"
+	// VerifyUnboundDiff: an apply step's DiffName was never computed before
+	// the apply executes.
+	VerifyUnboundDiff VerifyCode = "unbound-diff"
+	// VerifyDuplicateBinding: two compute steps bind the same name.
+	VerifyDuplicateBinding VerifyCode = "duplicate-binding"
+	// VerifyOrphanCache: a declared cache is never maintained by any apply
+	// step (its contents would silently go stale).
+	VerifyOrphanCache VerifyCode = "orphan-cache"
+	// VerifyPhaseKind: a step's phase does not match its kind or target
+	// (e.g. a compute step tagged as an update phase, or a view apply not
+	// tagged PhaseViewUpdate).
+	VerifyPhaseKind VerifyCode = "phase-kind"
+	// VerifyPhaseOrder: pass-3 ordering violated — a compute or cache
+	// maintenance step appears after view updates have begun.
+	VerifyPhaseOrder VerifyCode = "phase-order"
+	// VerifyStalePostRead: a compute plan reads the post-state of a stored
+	// target before every apply step for that target has executed.
+	VerifyStalePostRead VerifyCode = "stale-post-read"
+	// VerifySchemaMismatch: a compute plan's output schema does not match
+	// its declared diff schema, or an apply step's diff schema disagrees
+	// with the one declared at the compute step.
+	VerifySchemaMismatch VerifyCode = "schema-mismatch"
+	// VerifyDiffShape: a diff schema violates the Section 2 shape rules
+	// (insert with pre-state, delete with post-state, update without
+	// post-state).
+	VerifyDiffShape VerifyCode = "diff-shape"
+	// VerifyIDSet: a diff's ID set is inconsistent with the Table 1 IDs of
+	// its target (not a key subset; or, for inserts, not the full key with
+	// post values for every non-key attribute).
+	VerifyIDSet VerifyCode = "id-set"
+	// VerifyUnsafeShape: a minimized plan still combines a delete diff with
+	// the post-state of its own target relation on the diff's full ID set —
+	// a shape constraints C1–C3 (Figure 8) prove vacuous, so its survival
+	// means minimization was unsound or skipped.
+	VerifyUnsafeShape VerifyCode = "unsafe-shape"
+)
+
+// VerifyError is a structured verification failure naming the offending
+// step of the script.
+type VerifyError struct {
+	Code VerifyCode
+	View string
+	// Step indexes Script.Steps; -1 for script-level problems (cache
+	// definitions, orphaned caches).
+	Step int
+	// Name identifies the entity involved: a binding, cache or table name.
+	Name   string
+	Detail string
+}
+
+// Error implements error.
+func (e *VerifyError) Error() string {
+	at := "script"
+	if e.Step >= 0 {
+		at = fmt.Sprintf("step %d", e.Step)
+	}
+	return fmt.Sprintf("ivm: verify %s: %s at %s (%s): %s", e.View, e.Code, at, e.Name, e.Detail)
+}
+
+func verr(s *Script, code VerifyCode, step int, name, format string, args ...any) *VerifyError {
+	return &VerifyError{Code: code, View: s.View, Step: step, Name: name, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Verify statically checks a compiled Δ-script without executing it:
+//
+//   - def-before-use: every plan only references bindings already defined
+//     (base diff instances or earlier compute results), every apply resolves
+//     to a computed diff, and stored accesses only touch the view, declared
+//     caches, or base tables;
+//   - phase soundness: step phases match step kinds and targets, and no
+//     computation or cache maintenance runs after view updates begin
+//     (Section 4 pass 3's cache-before-view ordering);
+//   - freshness: no plan reads the post-state of the view or a cache while
+//     apply steps for that target are still pending;
+//   - schema/type soundness: each compute step's plan produces exactly the
+//     columns of its declared diff schema, diff schemas have the Section 2
+//     shape for their type, and every applied diff's ID set is consistent
+//     with the Table 1 IDs (the key) of its target table;
+//   - cache bookkeeping: apply targets are declared, and every declared
+//     cache is maintained;
+//   - minimization safety (minimized scripts only): no surviving join,
+//     semijoin or antisemijoin combines a delete diff with its own target's
+//     post-state on the diff's full IDs — the C2 shapes Figure 8 proves
+//     empty.
+//
+// It returns nil or the first violation as a *VerifyError.
+func Verify(s *Script) error {
+	// Known stored targets and their schemas.
+	targets := map[string]rel.Schema{s.View: s.ViewPlan.Schema()}
+	cacheIdx := make(map[string]int, len(s.Caches))
+	for i, c := range s.Caches {
+		if _, dup := targets[c.Name]; dup {
+			return verr(s, VerifyDuplicateBinding, -1, c.Name, "cache name collides with an existing target")
+		}
+		targets[c.Name] = c.Plan.Schema()
+		cacheIdx[c.Name] = i
+	}
+
+	// Base tables and the bindings their diff instances arrive under.
+	baseTables := map[string]bool{}
+	bound := map[string]bool{}
+	diffs := map[string]DiffSchema{}
+	for _, table := range s.Base.Tables() {
+		baseTables[table] = true
+		for i, ds := range s.Base[table] {
+			name := BaseBindName(table, i)
+			bound[name] = true
+			diffs[name] = ds
+		}
+	}
+	for _, st := range s.Steps {
+		if cs, ok := st.(*ComputeStep); ok && cs.Diff != nil {
+			diffs[cs.Name] = *cs.Diff
+		}
+	}
+
+	// Cache definition plans: materialization order means a cache plan may
+	// scan base tables and reference strictly earlier caches.
+	for i, c := range s.Caches {
+		if err := checkPlanRefs(s, -1, c.Name, c.Plan, func(name string) bool { return false },
+			func(name string) bool {
+				j, ok := cacheIdx[name]
+				return ok && j < i
+			}, baseTables); err != nil {
+			return err
+		}
+	}
+	if err := checkPlanRefs(s, -1, s.View, s.ViewPlan, func(string) bool { return false },
+		func(name string) bool { _, ok := cacheIdx[name]; return ok }, baseTables); err != nil {
+		return err
+	}
+
+	// Pending apply counts per target, for the freshness check.
+	pendingApplies := map[string]int{}
+	for _, st := range s.Steps {
+		if a, ok := st.(*ApplyStep); ok {
+			pendingApplies[a.Table]++
+		}
+	}
+	for _, c := range s.Caches {
+		if pendingApplies[c.Name] == 0 {
+			return verr(s, VerifyOrphanCache, -1, c.Name, "declared cache is never maintained by an apply step")
+		}
+	}
+
+	computed := map[string]int{}            // binding name → defining step index
+	computedDiff := map[string]*DiffSchema{} // binding name → declared diff schema
+	sawViewUpdate := false
+
+	for i, st := range s.Steps {
+		switch x := st.(type) {
+		case *ComputeStep:
+			if x.Ph != PhaseCacheCompute && x.Ph != PhaseViewCompute {
+				return verr(s, VerifyPhaseKind, i, x.Name, "compute step tagged with update phase %s", x.Ph)
+			}
+			if sawViewUpdate {
+				return verr(s, VerifyPhaseOrder, i, x.Name, "compute step after view updates began")
+			}
+			if _, dup := computed[x.Name]; dup || bound[x.Name] {
+				return verr(s, VerifyDuplicateBinding, i, x.Name, "binding defined twice")
+			}
+			isBound := func(name string) bool {
+				if bound[name] {
+					return true
+				}
+				_, ok := computed[name]
+				return ok
+			}
+			isTarget := func(name string) bool { _, ok := targets[name]; return ok }
+			if err := checkPlanRefs(s, i, x.Name, x.Plan, isBound, isTarget, baseTables); err != nil {
+				return err
+			}
+			// Freshness: post-state reads require all applies to the target
+			// to have executed already.
+			var fresh error
+			algebra.Walk(x.Plan, func(n algebra.Node) {
+				if fresh != nil {
+					return
+				}
+				if ref, ok := n.(*algebra.RelRef); ok && ref.Stored && ref.St == rel.StatePost {
+					if pendingApplies[ref.Name] > 0 {
+						fresh = verr(s, VerifyStalePostRead, i, x.Name,
+							"plan reads post-state of %q with %d apply step(s) still pending",
+							ref.Name, pendingApplies[ref.Name])
+					}
+				}
+			})
+			if fresh != nil {
+				return fresh
+			}
+			if x.Diff != nil {
+				if err := checkDiffShape(s, i, x.Name, *x.Diff); err != nil {
+					return err
+				}
+				if _, ok := targets[x.Diff.Rel]; !ok {
+					return verr(s, VerifyUnknownTable, i, x.Name,
+						"diff is declared over %q, which is neither the view nor a cache", x.Diff.Rel)
+				}
+				want := x.Diff.RelSchema().Attrs
+				got := x.Plan.Schema().Attrs
+				if !setEqualStrs(want, got) {
+					return verr(s, VerifySchemaMismatch, i, x.Name,
+						"plan produces columns %v but diff schema %s requires %v", got, x.Diff, want)
+				}
+			}
+			computed[x.Name] = i
+			computedDiff[x.Name] = x.Diff
+
+		case *ApplyStep:
+			if x.Ph != PhaseCacheUpdate && x.Ph != PhaseViewUpdate {
+				return verr(s, VerifyPhaseKind, i, x.DiffName, "apply step tagged with compute phase %s", x.Ph)
+			}
+			if _, ok := computed[x.DiffName]; !ok {
+				return verr(s, VerifyUnboundDiff, i, x.DiffName, "apply of a diff that has not been computed")
+			}
+			ds := computedDiff[x.DiffName]
+			if ds == nil {
+				return verr(s, VerifySchemaMismatch, i, x.DiffName,
+					"apply of auxiliary binding with no declared diff schema")
+			}
+			if !ds.Equal(x.Diff) {
+				return verr(s, VerifySchemaMismatch, i, x.DiffName,
+					"apply schema %s disagrees with computed schema %s", x.Diff, *ds)
+			}
+			tSchema, ok := targets[x.Table]
+			if !ok {
+				return verr(s, VerifyUnknownTable, i, x.Table, "apply targets an undeclared table")
+			}
+			wantPh := PhaseCacheUpdate
+			if x.Table == s.View {
+				wantPh = PhaseViewUpdate
+			}
+			if x.Ph != wantPh {
+				return verr(s, VerifyPhaseKind, i, x.DiffName,
+					"apply to %q must run in phase %s, not %s", x.Table, wantPh, x.Ph)
+			}
+			if x.Table == s.View {
+				sawViewUpdate = true
+			} else if sawViewUpdate {
+				return verr(s, VerifyPhaseOrder, i, x.DiffName, "cache update after view updates began")
+			}
+			if err := checkIDSet(s, i, x, tSchema); err != nil {
+				return err
+			}
+			pendingApplies[x.Table]--
+
+		default:
+			return verr(s, VerifyPhaseKind, i, fmt.Sprintf("%T", st), "unknown step type")
+		}
+	}
+
+	// Minimization safety: C2 residue detection on minimized scripts.
+	if s.Minimized {
+		m := &minimizer{diffs: diffs}
+		for i, st := range s.Steps {
+			cs, ok := st.(*ComputeStep)
+			if !ok {
+				continue
+			}
+			var bad error
+			algebra.Walk(cs.Plan, func(n algebra.Node) {
+				if bad != nil {
+					return
+				}
+				switch x := n.(type) {
+				case *algebra.Join:
+					if m.deleteDiffVsOwnPost(x.Left, x.Right, x.Pred) ||
+						m.deleteDiffVsOwnPost(x.Right, x.Left, x.Pred) {
+						bad = verr(s, VerifyUnsafeShape, i, cs.Name,
+							"delete diff joined with its own target's post-state (C2 makes this empty)")
+					}
+				case *algebra.SemiJoin:
+					if m.deleteDiffVsOwnPost(x.Left, x.Right, x.Pred) {
+						bad = verr(s, VerifyUnsafeShape, i, cs.Name,
+							"delete diff semijoined with its own target's post-state (C2 makes this empty)")
+					}
+				case *algebra.AntiJoin:
+					if m.deleteDiffVsOwnPost(x.Left, x.Right, x.Pred) {
+						bad = verr(s, VerifyUnsafeShape, i, cs.Name,
+							"delete diff antijoined with its own target's post-state (C2 makes this the diff itself)")
+					}
+				}
+			})
+			if bad != nil {
+				return bad
+			}
+		}
+	}
+	return nil
+}
+
+// checkPlanRefs validates the leaves of a plan: non-stored references must
+// be bound, stored references must name a known target, and scans must read
+// base tables of the view.
+func checkPlanRefs(s *Script, step int, name string, plan algebra.Node,
+	isBound, isTarget func(string) bool, baseTables map[string]bool) error {
+	var bad error
+	algebra.Walk(plan, func(n algebra.Node) {
+		if bad != nil {
+			return
+		}
+		switch x := n.(type) {
+		case *algebra.RelRef:
+			if x.Stored {
+				if !isTarget(x.Name) {
+					bad = verr(s, VerifyUnknownTable, step, name,
+						"plan references stored table %q, which is neither the view nor an available cache", x.Name)
+				}
+			} else if !isBound(x.Name) {
+				bad = verr(s, VerifyUnboundRef, step, name,
+					"plan references binding %q before it is defined", x.Name)
+			}
+		case *algebra.Scan:
+			if !baseTables[x.Table] {
+				bad = verr(s, VerifyUnknownTable, step, name,
+					"plan scans %q, which is not a base table of the view", x.Table)
+			}
+		}
+	})
+	return bad
+}
+
+// checkDiffShape enforces the Section 2 shape of a diff schema: inserts
+// carry no pre-state, deletes no post-state, updates at least one post
+// attribute, and every diff identifies tuples by at least one ID.
+func checkDiffShape(s *Script, step int, name string, ds DiffSchema) error {
+	if len(ds.IDs) == 0 {
+		return verr(s, VerifyDiffShape, step, name, "diff %s has no ID attributes", ds)
+	}
+	switch ds.Type {
+	case DiffInsert:
+		if len(ds.Pre) > 0 {
+			return verr(s, VerifyDiffShape, step, name, "insert diff %s carries pre-state", ds)
+		}
+	case DiffDelete:
+		if len(ds.Post) > 0 {
+			return verr(s, VerifyDiffShape, step, name, "delete diff %s carries post-state", ds)
+		}
+	case DiffUpdate:
+		if len(ds.Post) == 0 {
+			return verr(s, VerifyDiffShape, step, name, "update diff %s has no post attributes", ds)
+		}
+	default:
+		return verr(s, VerifyDiffShape, step, name, "unknown diff type %d", ds.Type)
+	}
+	return nil
+}
+
+// checkIDSet validates an applied diff's ID subset against the Table 1 IDs
+// (the key) of its target table, per the APPLY semantics of Section 2.
+func checkIDSet(s *Script, step int, a *ApplyStep, tSchema rel.Schema) error {
+	ds := a.Diff
+	for _, id := range ds.IDs {
+		if !rel.Contains(tSchema.Key, id) {
+			return verr(s, VerifyIDSet, step, a.DiffName,
+				"diff ID %q is not among target %s's IDs %v", id, a.Table, tSchema.Key)
+		}
+	}
+	for _, attr := range append(append([]string(nil), ds.Pre...), ds.Post...) {
+		if !tSchema.Has(attr) {
+			return verr(s, VerifyIDSet, step, a.DiffName,
+				"diff attribute %q is not a column of target %s", attr, a.Table)
+		}
+	}
+	switch ds.Type {
+	case DiffInsert:
+		if !eqStrs(ds.IDs, tSchema.Key) {
+			return verr(s, VerifyIDSet, step, a.DiffName,
+				"insert diff IDs %v must equal the full key %v of %s", ds.IDs, tSchema.Key, a.Table)
+		}
+		if !setEqualStrs(ds.Post, tSchema.NonKey()) {
+			return verr(s, VerifyIDSet, step, a.DiffName,
+				"insert diff post set %v must cover the non-key attributes %v of %s",
+				ds.Post, tSchema.NonKey(), a.Table)
+		}
+	case DiffUpdate:
+		for _, attr := range ds.Post {
+			if rel.Contains(ds.IDs, attr) {
+				return verr(s, VerifyIDSet, step, a.DiffName,
+					"update diff modifies its own ID attribute %q", attr)
+			}
+		}
+	}
+	return nil
+}
+
+// setEqualStrs reports whether two string slices contain the same set of
+// elements (each slice being duplicate-free by construction).
+func setEqualStrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		if !rel.Contains(b, x) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,319 @@
+package ivm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"idivm/internal/algebra"
+	"idivm/internal/expr"
+	"idivm/internal/rel"
+)
+
+// Test fixtures: a selection view (no caches) and an aggregate-over-select
+// view (input cache + ΔG auxiliary binding), generated through the real
+// pipeline so mutations start from verified-valid scripts.
+
+func verifyTableSchema(t string) (rel.Schema, error) { return minParts, nil }
+
+func selectScript(t *testing.T, opts ...GenOptions) *Script {
+	t.Helper()
+	scan := algebra.NewScan("parts", "", minParts)
+	plan := algebra.NewSelect(scan, expr.Gt(expr.C("parts.price"), expr.IntLit(5)))
+	base, err := GenerateBaseDiffSchemas(plan, verifyTableSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Generate("V", plan, base, false, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func gammaScript(t *testing.T, opts ...GenOptions) *Script {
+	t.Helper()
+	scan := algebra.NewScan("parts", "", minParts)
+	sel := algebra.NewSelect(scan, expr.Gt(expr.C("parts.price"), expr.IntLit(0)))
+	plan := algebra.NewGroupBy(sel, []string{"parts.pid"},
+		[]algebra.Agg{{Fn: algebra.AggSum, Arg: expr.C("parts.price"), As: "total"}})
+	base, err := GenerateBaseDiffSchemas(plan, verifyTableSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Generate("V", plan, base, false, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func wantCode(t *testing.T, err error, code VerifyCode) *VerifyError {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected %s, script verified clean", code)
+	}
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("expected *VerifyError, got %T: %v", err, err)
+	}
+	if ve.Code != code {
+		t.Fatalf("expected code %s, got %s: %v", code, ve.Code, ve)
+	}
+	return ve
+}
+
+func TestVerifyAcceptsGeneratedScripts(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    *Script
+	}{
+		{"select-min", selectScript(t)},
+		{"select-raw", selectScript(t, GenOptions{NoMinimize: true})},
+		{"gamma-min", gammaScript(t)},
+		{"gamma-raw", gammaScript(t, GenOptions{NoMinimize: true})},
+		{"gamma-nocache", gammaScript(t, GenOptions{NoCache: true})},
+	} {
+		if err := Verify(tc.s); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+	}
+	// Tuple-mode scripts must verify too.
+	scan := algebra.NewScan("parts", "", minParts)
+	plan := algebra.NewSelect(scan, expr.Gt(expr.C("parts.price"), expr.IntLit(5)))
+	base, err := GenerateBaseDiffSchemas(plan, verifyTableSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Generate("V", plan, base, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(s); err != nil {
+		t.Errorf("tuple mode: %v", err)
+	}
+}
+
+// Mutation: dropping the cache definition leaves the script referencing an
+// undeclared stored table.
+func TestVerifyRejectsDroppedCacheDef(t *testing.T) {
+	s := gammaScript(t)
+	if len(s.Caches) == 0 {
+		t.Fatal("fixture should have an input cache")
+	}
+	s.Caches = nil
+	wantCode(t, Verify(s), VerifyUnknownTable)
+}
+
+// Mutation: hoisting an apply step above the compute step that binds its
+// diff breaks def-before-use.
+func TestVerifyRejectsApplyBeforeCompute(t *testing.T) {
+	s := selectScript(t)
+	j := -1
+	for i, st := range s.Steps {
+		if _, ok := st.(*ApplyStep); ok {
+			j = i
+			break
+		}
+	}
+	if j <= 0 {
+		t.Fatal("fixture should have an apply step after computes")
+	}
+	a := s.Steps[j]
+	copy(s.Steps[1:j+1], s.Steps[0:j])
+	s.Steps[0] = a
+	wantCode(t, Verify(s), VerifyUnboundDiff)
+}
+
+// Mutation: tagging an apply step with a compute phase violates the
+// phase/kind correspondence.
+func TestVerifyRejectsSwappedPhaseKind(t *testing.T) {
+	s := selectScript(t)
+	for _, st := range s.Steps {
+		if a, ok := st.(*ApplyStep); ok {
+			a.Ph = PhaseViewCompute
+			break
+		}
+	}
+	wantCode(t, Verify(s), VerifyPhaseKind)
+}
+
+// Mutation: a computation scheduled after view updates have begun violates
+// the pass-3 phase ordering.
+func TestVerifyRejectsComputeAfterViewUpdate(t *testing.T) {
+	s := selectScript(t)
+	var first *ComputeStep
+	for _, st := range s.Steps {
+		if cs, ok := st.(*ComputeStep); ok {
+			first = cs
+			break
+		}
+	}
+	late := &ComputeStep{Name: "late", Plan: algebra.NewRelRef(first.Name, first.Plan.Schema()),
+		Ph: PhaseViewCompute}
+	s.Steps = append(s.Steps, late)
+	wantCode(t, Verify(s), VerifyPhaseOrder)
+}
+
+// Mutation: renaming the ΔG auxiliary binding orphans every plan that
+// references it.
+func TestVerifyRejectsRenamedBinding(t *testing.T) {
+	s := gammaScript(t)
+	renamed := false
+	for _, st := range s.Steps {
+		if cs, ok := st.(*ComputeStep); ok && cs.Diff == nil && strings.HasPrefix(cs.Name, "ΔG") {
+			cs.Name += "-renamed"
+			renamed = true
+			break
+		}
+	}
+	if !renamed {
+		t.Fatal("fixture should have a ΔG auxiliary binding")
+	}
+	wantCode(t, Verify(s), VerifyUnboundRef)
+}
+
+// Mutation: widening an insert diff's ID set beyond the target's key — even
+// consistently across compute, apply, and plan — is unsound per Table 1.
+func TestVerifyRejectsWidenedIDSet(t *testing.T) {
+	s := selectScript(t)
+	wide := DiffSchema{Type: DiffInsert, Rel: "V",
+		IDs: []string{"parts.pid", "parts.price"}}
+	var mutated *ComputeStep
+	for _, st := range s.Steps {
+		if cs, ok := st.(*ComputeStep); ok && cs.Diff != nil && cs.Diff.Type == DiffInsert {
+			cs.Plan = algebra.NewProject(cs.Plan, []algebra.ProjItem{
+				{E: expr.C("parts.pid"), As: "parts.pid"},
+				{E: expr.C(PostName("parts.price")), As: "parts.price"},
+			})
+			cs.Diff = &wide
+			mutated = cs
+			break
+		}
+	}
+	if mutated == nil {
+		t.Fatal("fixture should have an insert compute step")
+	}
+	for _, st := range s.Steps {
+		if a, ok := st.(*ApplyStep); ok && a.DiffName == mutated.Name {
+			a.Diff = wide
+		}
+	}
+	wantCode(t, Verify(s), VerifyIDSet)
+}
+
+// Mutation: an insert diff that claims to carry pre-state has an illegal
+// Section 2 shape.
+func TestVerifyRejectsIllegalDiffShape(t *testing.T) {
+	s := selectScript(t)
+	for _, st := range s.Steps {
+		if cs, ok := st.(*ComputeStep); ok && cs.Diff != nil && cs.Diff.Type == DiffInsert {
+			d := *cs.Diff
+			d.Pre = []string{"parts.price"}
+			cs.Diff = &d
+			break
+		}
+	}
+	wantCode(t, Verify(s), VerifyDiffShape)
+}
+
+// Mutation: duplicating a binding name makes later references ambiguous.
+func TestVerifyRejectsDuplicateBinding(t *testing.T) {
+	s := selectScript(t)
+	var names []string
+	for _, st := range s.Steps {
+		if cs, ok := st.(*ComputeStep); ok {
+			names = append(names, cs.Name)
+		}
+	}
+	if len(names) < 2 {
+		t.Fatal("fixture should have two compute steps")
+	}
+	for _, st := range s.Steps {
+		if cs, ok := st.(*ComputeStep); ok && cs.Name == names[1] {
+			cs.Name = names[0]
+		}
+	}
+	wantCode(t, Verify(s), VerifyDuplicateBinding)
+}
+
+// Mutation: reading a cache's post-state before its applies have run sees a
+// stale snapshot.
+func TestVerifyRejectsStalePostRead(t *testing.T) {
+	s := gammaScript(t)
+	if len(s.Caches) == 0 {
+		t.Fatal("fixture should have an input cache")
+	}
+	c := s.Caches[0]
+	peek := &ComputeStep{Name: "peek",
+		Plan: algebra.NewStoredRef(c.Name, c.Plan.Schema(), rel.StatePost),
+		Ph:   PhaseCacheCompute}
+	s.Steps = append([]Step{peek}, s.Steps...)
+	wantCode(t, Verify(s), VerifyStalePostRead)
+}
+
+// Mutation: a cache declared but never maintained would silently go stale.
+func TestVerifyRejectsOrphanCache(t *testing.T) {
+	s := gammaScript(t)
+	if len(s.Caches) == 0 {
+		t.Fatal("fixture should have an input cache")
+	}
+	cache := s.Caches[0].Name
+	var kept []Step
+	for _, st := range s.Steps {
+		if a, ok := st.(*ApplyStep); ok && a.Table == cache {
+			continue
+		}
+		kept = append(kept, st)
+	}
+	s.Steps = kept
+	wantCode(t, Verify(s), VerifyOrphanCache)
+}
+
+// Mutation: a surviving ∆-R ⋈ R_post join in a minimized script means the
+// Figure 8 C2 rewrite was skipped or undone.
+func TestVerifyRejectsUnsafeShapeAfterMinimize(t *testing.T) {
+	s := gammaScript(t)
+	if !s.Minimized {
+		t.Fatal("generated script should be marked minimized")
+	}
+	var del DiffSchema
+	delIdx := -1
+	for i, ds := range s.Base["parts"] {
+		if ds.Type == DiffDelete {
+			del, delIdx = ds, i
+		}
+	}
+	if delIdx < 0 {
+		t.Fatal("base schemas should include a delete diff")
+	}
+	delRef := algebra.NewRelRef(BaseBindName("parts", delIdx), del.RelSchema())
+	bad := algebra.NewJoin(delRef, algebra.NewScan("parts", "p2", minParts),
+		expr.Eq(expr.C("pid"), expr.C("p2.pid")))
+	for _, st := range s.Steps {
+		if cs, ok := st.(*ComputeStep); ok && cs.Diff == nil && strings.HasPrefix(cs.Name, "ΔG") {
+			cs.Plan = bad
+			break
+		}
+	}
+	wantCode(t, Verify(s), VerifyUnsafeShape)
+	// The same shape is legitimate in an unminimized script: pass 4 is what
+	// removes it, so its presence before minimization is not an error.
+	s.Minimized = false
+	if err := Verify(s); err != nil {
+		t.Fatalf("unminimized script wrongly rejected: %v", err)
+	}
+}
+
+func TestVerifyErrorRendering(t *testing.T) {
+	e := &VerifyError{Code: VerifyOrphanCache, View: "V", Step: -1, Name: "cache:V:1", Detail: "d"}
+	for _, frag := range []string{"orphan-cache", "V", "script", "cache:V:1"} {
+		if !strings.Contains(e.Error(), frag) {
+			t.Errorf("error rendering missing %q: %s", frag, e.Error())
+		}
+	}
+	e.Step = 3
+	if !strings.Contains(e.Error(), "step 3") {
+		t.Errorf("step index missing: %s", e.Error())
+	}
+}
