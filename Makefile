@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race lint
+.PHONY: check build vet test race lint bench-smoke
 
 # check is the full local gate, identical to CI: build, vet, race-enabled
 # tests, and the repository linter. Any lint finding fails the build.
@@ -20,3 +20,15 @@ race:
 
 lint:
 	$(GO) run ./cmd/ivmlint ./...
+
+# bench-smoke mirrors CI's benchmark regression gate: a one-iteration run
+# of the Figure 12a (d=200) and SPJ headline benchmarks, converted to
+# BENCH_2.json and compared against testdata/bench_baseline.json on the
+# deterministic accesses/op metric (>20% worse fails). Regenerate the
+# baseline after a deliberate cost change with:
+#   make bench-smoke BENCHJSON_FLAGS='-o testdata/bench_baseline.json'
+BENCHJSON_FLAGS ?= -o BENCH_2.json -baseline testdata/bench_baseline.json
+bench-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkFig12a_DiffSize$$/^d=200$$' -benchtime=1x . | tee bench.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkSPJNonConditionalUpdate$$' -benchtime=1x . | tee -a bench.txt
+	$(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS) bench.txt

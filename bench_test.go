@@ -47,11 +47,14 @@ func benchBSMAParams() bsma.Params {
 }
 
 // benchIVM measures maintenance rounds of the running-example aggregate
-// (or SPJ) view in the given mode.
-func benchIVM(b *testing.B, p workload.Params, agg bool, mode ivm.Mode) {
+// (or SPJ) view in the given mode. workers > 1 runs the Δ-script on the
+// step-DAG scheduler; access counts are identical either way, so the
+// accesses/op column is schedule-independent.
+func benchIVM(b *testing.B, p workload.Params, agg bool, mode ivm.Mode, workers int) {
 	b.Helper()
 	ds := workload.Build(p)
 	sys := ivm.NewSystem(ds.DB)
+	sys.Workers = workers
 	plan := ds.SPJPlan()
 	if agg {
 		plan = ds.AggPlan()
@@ -73,6 +76,9 @@ func benchIVM(b *testing.B, p workload.Params, agg bool, mode ivm.Mode) {
 			b.Fatal(err)
 		}
 		accesses += reports[0].Phases.Total().Total()
+		b.StopTimer()
+		ds.DB.ResetLog()
+		b.StartTimer()
 	}
 	b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
 }
@@ -104,14 +110,22 @@ func benchSDBT(b *testing.B, p workload.Params, variant sdbt.Variant) {
 	b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
 }
 
-// approachSet runs the four Figure 12 columns as sub-benchmarks.
+// benchWorkers is the pool size for the parallel-executor columns: enough
+// to overlap a script's independent compute steps without oversubscribing
+// CI runners.
+const benchWorkers = 4
+
+// approachSet runs the Figure 12 columns as sub-benchmarks, plus column E:
+// the id-based approach on the parallel step-DAG executor (same accesses/op
+// as column A by construction; the delta is ns/op).
 func approachSet(b *testing.B, p workload.Params, withSDBT bool) {
-	b.Run("A=idIVM", func(b *testing.B) { benchIVM(b, p, true, ivm.ModeID) })
-	b.Run("B=tuple", func(b *testing.B) { benchIVM(b, p, true, ivm.ModeTuple) })
+	b.Run("A=idIVM", func(b *testing.B) { benchIVM(b, p, true, ivm.ModeID, 1) })
+	b.Run("B=tuple", func(b *testing.B) { benchIVM(b, p, true, ivm.ModeTuple, 1) })
 	if withSDBT {
 		b.Run("C=sdbt-fixed", func(b *testing.B) { benchSDBT(b, p, sdbt.Fixed) })
 		b.Run("D=sdbt-streams", func(b *testing.B) { benchSDBT(b, p, sdbt.Streams) })
 	}
+	b.Run("E=parallel", func(b *testing.B) { benchIVM(b, p, true, ivm.ModeID, benchWorkers) })
 }
 
 // BenchmarkFig10 regenerates Figure 10: the eight BSMA views maintained
@@ -223,8 +237,9 @@ func BenchmarkTable3_AggModel(b *testing.B) {
 // (Example 1.2): non-conditional updates through an SPJ view.
 func BenchmarkSPJNonConditionalUpdate(b *testing.B) {
 	p := benchWorkloadParams()
-	b.Run("id", func(b *testing.B) { benchIVM(b, p, false, ivm.ModeID) })
-	b.Run("tuple", func(b *testing.B) { benchIVM(b, p, false, ivm.ModeTuple) })
+	b.Run("id", func(b *testing.B) { benchIVM(b, p, false, ivm.ModeID, 1) })
+	b.Run("tuple", func(b *testing.B) { benchIVM(b, p, false, ivm.ModeTuple, 1) })
+	b.Run("parallel", func(b *testing.B) { benchIVM(b, p, false, ivm.ModeID, benchWorkers) })
 }
 
 // benchIVMOpts is benchIVM with generation options, for ablations.

@@ -1,0 +1,236 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document and, given a baseline, gates on metric regressions.
+//
+// Usage:
+//
+//	go test -bench ... | benchjson -o BENCH_2.json
+//	benchjson -o BENCH_2.json bench.txt
+//	benchjson -baseline testdata/bench_baseline.json bench.txt
+//
+// Every benchmark line is parsed into its full metric set (ns/op plus any
+// testing.B.ReportMetric columns such as accesses/op). The regression gate
+// compares one metric — by default accesses/op, which is a deterministic
+// count in this repository, unlike ns/op — and exits non-zero when the
+// current value exceeds baseline*(1+threshold). Benchmarks present only on
+// one side are reported but do not fail the gate, so benchmarks can be
+// added before the baseline is regenerated.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Output is the top-level JSON document.
+type Output struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix matches the "-8" style suffix go test appends to
+// benchmark names when GOMAXPROCS > 1.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark result lines from go test output. Repeated
+// names (e.g. from concatenated runs) keep the last result, in first
+// encounter order.
+func parseBench(r io.Reader) ([]Benchmark, error) {
+	var order []string
+	byName := make(map[string]Benchmark)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then value-unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		b := Benchmark{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if !ok {
+			continue
+		}
+		if _, seen := byName[name]; !seen {
+			order = append(order, name)
+		}
+		byName[name] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		out = append(out, byName[name])
+	}
+	return out, nil
+}
+
+// compare gates current against baseline on one metric. It returns
+// human-readable report lines and whether any benchmark regressed past the
+// threshold.
+func compare(baseline, current []Benchmark, metric string, threshold float64) ([]string, bool) {
+	cur := make(map[string]Benchmark, len(current))
+	for _, b := range current {
+		cur[b.Name] = b
+	}
+	var lines []string
+	regressed := false
+	for _, base := range baseline {
+		want, ok := base.Metrics[metric]
+		if !ok {
+			continue
+		}
+		c, ok := cur[base.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("MISSING  %s: in baseline but not in current run", base.Name))
+			continue
+		}
+		got, ok := c.Metrics[metric]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("MISSING  %s: current run lacks metric %q", base.Name, metric))
+			continue
+		}
+		switch {
+		case want == 0:
+			if got != 0 {
+				regressed = true
+				lines = append(lines, fmt.Sprintf("REGRESS  %s: %s %.1f, baseline 0", base.Name, metric, got))
+			}
+		case got > want*(1+threshold):
+			regressed = true
+			lines = append(lines, fmt.Sprintf("REGRESS  %s: %s %.1f vs baseline %.1f (+%.1f%%, limit +%.0f%%)",
+				base.Name, metric, got, want, 100*(got/want-1), 100*threshold))
+		case got < want:
+			lines = append(lines, fmt.Sprintf("IMPROVE  %s: %s %.1f vs baseline %.1f (%.1f%%)",
+				base.Name, metric, got, want, 100*(got/want-1)))
+		default:
+			lines = append(lines, fmt.Sprintf("OK       %s: %s %.1f vs baseline %.1f", base.Name, metric, got, want))
+		}
+	}
+	for _, b := range current {
+		if _, ok := b.Metrics[metric]; !ok {
+			continue
+		}
+		found := false
+		for _, base := range baseline {
+			if base.Name == b.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			lines = append(lines, fmt.Sprintf("NEW      %s: not in baseline (regenerate it to start gating)", b.Name))
+		}
+	}
+	return lines, regressed
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write parsed benchmarks as JSON to this file (default stdout)")
+	baselinePath := fs.String("baseline", "", "baseline JSON; exit 1 if the gated metric regresses past -threshold")
+	metric := fs.String("metric", "accesses/op", "metric the baseline gate compares")
+	threshold := fs.Float64("threshold", 0.20, "allowed fractional regression for the gated metric")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var benches []Benchmark
+	if fs.NArg() == 0 {
+		var err error
+		benches, err = parseBench(stdin)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: stdin: %v\n", err)
+			return 2
+		}
+	}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 2
+		}
+		bs, err := parseBench(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %s: %v\n", path, err)
+			return 2
+		}
+		benches = append(benches, bs...)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines found in input")
+		return 2
+	}
+
+	doc, err := json.MarshalIndent(Output{Benchmarks: benches}, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		stdout.Write(doc)
+	} else if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
+	}
+
+	if *baselinePath == "" {
+		return 0
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	var baseline Output
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %s: %v\n", *baselinePath, err)
+		return 2
+	}
+	lines, regressed := compare(baseline.Benchmarks, benches, *metric, *threshold)
+	for _, l := range lines {
+		fmt.Fprintln(stdout, l)
+	}
+	if regressed {
+		fmt.Fprintf(stderr, "benchjson: %s regression past +%.0f%% threshold\n", *metric, 100**threshold)
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

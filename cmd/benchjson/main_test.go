@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: idivm
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSPJNonConditionalUpdate/id         	       1	   3917927 ns/op	       611.0 accesses/op
+BenchmarkSPJNonConditionalUpdate/tuple-8    	       2	  21510212 ns/op	      7051 accesses/op
+BenchmarkFig12a_DiffSize/d=200/A=idIVM-8    	       1	   5000000 ns/op	      1200 accesses/op
+BenchmarkTable2_SPJModel                    	       1	   9000000 ns/op	        11.54 speedup	        11.00 predicted
+PASS
+ok  	idivm	0.474s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(got), got)
+	}
+	b := got[1]
+	if b.Name != "BenchmarkSPJNonConditionalUpdate/tuple" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", b.Name)
+	}
+	if b.Iterations != 2 || b.Metrics["accesses/op"] != 7051 || b.Metrics["ns/op"] != 21510212 {
+		t.Errorf("bad parse: %+v", b)
+	}
+	if m := got[3].Metrics; m["speedup"] != 11.54 || m["predicted"] != 11 {
+		t.Errorf("custom metrics not parsed: %+v", got[3])
+	}
+}
+
+func TestParseBenchLastResultWins(t *testing.T) {
+	in := "BenchmarkX/a 1 10 ns/op 100 accesses/op\nBenchmarkX/a 1 12 ns/op 120 accesses/op\n"
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Metrics["accesses/op"] != 120 {
+		t.Fatalf("want single result with last value, got %+v", got)
+	}
+}
+
+func mk(name string, accesses float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, Metrics: map[string]float64{"accesses/op": accesses, "ns/op": 1}}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := []Benchmark{mk("A", 100), mk("B", 100), mk("C", 100), mk("D", 100)}
+	current := []Benchmark{mk("A", 100), mk("B", 119), mk("C", 121), mk("E", 50)}
+	lines, regressed := compare(baseline, current, "accesses/op", 0.20)
+	if !regressed {
+		t.Fatalf("C at +21%% must regress; lines:\n%s", strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"OK       A", "OK       B", "REGRESS  C", "MISSING  D", "NEW      E"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	baseline := []Benchmark{mk("A", 100)}
+	current := []Benchmark{mk("A", 80)}
+	lines, regressed := compare(baseline, current, "accesses/op", 0.20)
+	if regressed {
+		t.Fatalf("improvement flagged as regression:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "IMPROVE  A") {
+		t.Errorf("improvement not reported:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// End-to-end through run(): parse sample output, write JSON, gate against
+// a baseline that the sample regresses.
+func TestRunGate(t *testing.T) {
+	dir := t.TempDir()
+	benchTxt := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchTxt, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outJSON := filepath.Join(dir, "BENCH_2.json")
+
+	// No baseline: exit 0 and write the JSON document.
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-o", outJSON, benchTxt}, nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(outJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Output
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("JSON has %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+
+	// Gate against a baseline with a much lower count: must exit 1.
+	baseline := Output{Benchmarks: []Benchmark{mk("BenchmarkSPJNonConditionalUpdate/id", 400)}}
+	baseRaw, _ := json.Marshal(baseline)
+	basePath := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(basePath, baseRaw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", basePath, benchTxt}, nil, &stdout, &stderr); code != 1 {
+		t.Fatalf("run = %d, want 1 (regression)\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+
+	// Gate against an accurate baseline: exit 0.
+	baseline = Output{Benchmarks: []Benchmark{mk("BenchmarkSPJNonConditionalUpdate/id", 611)}}
+	baseRaw, _ = json.Marshal(baseline)
+	if err := os.WriteFile(basePath, baseRaw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", basePath, benchTxt}, nil, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}

@@ -21,7 +21,7 @@ func loadFixture(t *testing.T) []finding {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return lintPackage(pkg, ruleSet{MapRange: true, DeepEqual: true, BindName: true})
+	return lintPackage(pkg, ruleSet{MapRange: true, DeepEqual: true, BindName: true, GoStmt: true})
 }
 
 // ruleCount tallies findings per rule.
@@ -45,9 +45,14 @@ func TestFixtureSeededRegressionsFlagged(t *testing.T) {
 	if counts["bindname"] != 2 {
 		t.Errorf("bindname findings = %d, want the two rogue constructors: %v", counts["bindname"], fs)
 	}
+	if counts["gostmt"] != 1 {
+		t.Errorf("gostmt findings = %d, want exactly the naked goroutine: %v", counts["gostmt"], fs)
+	}
+	// Every finding must carry a real position, and none may come from the
+	// fixture's sched.go — goroutines there are the blessed-file exemption.
 	for _, f := range fs {
 		if !strings.HasSuffix(f.Pos.Filename, "fixture.go") || f.Pos.Line <= 0 {
-			t.Errorf("finding without a real position: %v", f)
+			t.Errorf("finding without a real position (or from exempt sched.go): %v", f)
 		}
 	}
 }
@@ -124,7 +129,7 @@ func TestRulesFor(t *testing.T) {
 		path string
 		want ruleSet
 	}{
-		{"idivm/internal/ivm", ruleSet{MapRange: true, DeepEqual: true, BindName: true}},
+		{"idivm/internal/ivm", ruleSet{MapRange: true, DeepEqual: true, BindName: true, GoStmt: true}},
 		{"idivm/internal/algebra", ruleSet{MapRange: true, BindName: true}},
 		{"idivm/internal/sqlview", ruleSet{MapRange: true, BindName: true}},
 		{"idivm/internal/rel", ruleSet{DeepEqual: true, BindName: true}},

@@ -10,7 +10,10 @@
 //     internal/rel), where the typed comparators of internal/rel must be
 //     used instead;
 //   - bindname — fmt.Sprintf calls fabricating "base:…"/"cache:…" binding
-//     names outside the blessed constructors (BaseBindName, freshCache).
+//     names outside the blessed constructors (BaseBindName, freshCache);
+//   - gostmt — naked `go` statements in internal/ivm outside the blessed
+//     scheduler file (sched.go): maintenance concurrency must flow through
+//     the bounded worker pool.
 //
 // Usage:
 //

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"strings"
 )
 
@@ -36,7 +37,17 @@ type ruleSet struct {
 	// binding names outside the blessed constructors, which would bypass
 	// the single point of truth for the executor's naming scheme.
 	BindName bool
+	// GoStmt flags naked `go` statements in the executor packages outside
+	// the blessed scheduler file (sched.go): all maintenance concurrency
+	// must flow through the bounded worker pool so worker counts stay
+	// bounded, counter shards stay attributed, and shutdown stays in one
+	// place. Suppress a deliberate launch with `//ivmlint:allow gostmt`.
+	GoStmt bool
 }
+
+// goStmtExemptFile is the one file per linted package allowed to launch
+// goroutines: the scheduler owning the worker pool.
+const goStmtExemptFile = "sched.go"
 
 // bindNameConstructors are the only functions allowed to build executor
 // binding names from format strings.
@@ -59,6 +70,9 @@ func lintPackage(p *pkgInfo, rules ruleSet) []finding {
 		}
 		if rules.BindName {
 			out = append(out, checkBindName(p, f)...)
+		}
+		if rules.GoStmt {
+			out = append(out, checkGoStmt(p, f, allowed)...)
 		}
 	}
 	return out
@@ -190,9 +204,33 @@ func checkBindName(p *pkgInfo, f *ast.File) []finding {
 	return out
 }
 
+// checkGoStmt flags `go` statements outside the blessed scheduler file.
+func checkGoStmt(p *pkgInfo, f *ast.File, allowed map[string]map[int]bool) []finding {
+	if filepath.Base(p.Fset.Position(f.Pos()).Filename) == goStmtExemptFile {
+		return nil
+	}
+	var out []finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		pos := p.Fset.Position(gs.Pos())
+		if suppressed(allowed, "gostmt", pos.Line) {
+			return true
+		}
+		out = append(out, finding{Pos: pos, Rule: "gostmt",
+			Msg: "goroutine launched outside the scheduler; route concurrency through the " +
+				"worker pool in " + goStmtExemptFile + " (or annotate with //ivmlint:allow gostmt)"})
+		return true
+	})
+	return out
+}
+
 // rulesFor derives the rule set applicable to an import path: determinism
 // rules for the script-generation packages, hot-path rules for the
-// executor and relation layers, naming discipline everywhere.
+// executor and relation layers, concurrency discipline for the executor,
+// naming discipline everywhere.
 func rulesFor(mod, importPath string) ruleSet {
 	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, mod), "/")
 	return ruleSet{
@@ -200,5 +238,6 @@ func rulesFor(mod, importPath string) ruleSet {
 		DeepEqual: rel == "internal/ivm" || rel == "internal/rel" ||
 			strings.HasPrefix(rel, "internal/ivm/") || strings.HasPrefix(rel, "internal/rel/"),
 		BindName: true,
+		GoStmt:   rel == "internal/ivm" || strings.HasPrefix(rel, "internal/ivm/"),
 	}
 }

@@ -67,3 +67,15 @@ func BaseBindName(table string, i int) string {
 func InnocentSprintf(x int) string {
 	return fmt.Sprintf("Δ%d", x)
 }
+
+// NakedGoroutine launches a goroutine outside the blessed scheduler file.
+// Expected finding: gostmt.
+func NakedGoroutine(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// SuppressedGoroutine exercises the annotation escape hatch.
+func SuppressedGoroutine(ch chan int) {
+	//ivmlint:allow gostmt
+	go func() { ch <- 2 }()
+}

@@ -235,6 +235,12 @@ type MaintenanceStats struct {
 	Duration    time.Duration
 }
 
+// SetWorkers bounds maintenance concurrency: 0 or 1 keeps maintenance
+// fully sequential, n > 1 runs each view's Δ-script on an n-worker
+// step-DAG scheduler and maintains independent views concurrently.
+// Results and access counts are identical either way.
+func (x *DB) SetWorkers(n int) { x.sys.Workers = n }
+
 // Maintain incrementally brings every registered view up to date with the
 // base-table modifications since the previous call, and clears the log.
 func (x *DB) Maintain() ([]MaintenanceStats, error) {

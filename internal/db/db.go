@@ -49,6 +49,15 @@ type Modification struct {
 // Database is the catalog: named stored tables plus the modification log.
 // It implements algebra.Env (with no relation bindings; the IVM executor
 // layers bindings on top).
+//
+// Concurrency contract: catalog mutations (CreateTable/AddTable/DropTable/
+// EnableLogging) and base-table modifications (Insert/Delete/Update, which
+// append to the log and open epochs) are single-writer operations issued
+// between maintenance rounds. During a maintenance round the catalog and
+// log are read-only, so the parallel Δ-script executor may resolve tables
+// and compact the log from many goroutines; per-row thread-safety lives in
+// rel.Table, and cost attribution is sharded via rel.Table.WithCounter
+// with MergeCounter folding the shards back here.
 type Database struct {
 	tables  map[string]*rel.Table
 	order   []string
@@ -65,6 +74,12 @@ func New() *Database {
 // Counter returns the database-wide cost counter; all registered tables
 // charge to it.
 func (d *Database) Counter() *rel.CostCounter { return &d.counter }
+
+// MergeCounter folds a sharded cost counter (accumulated by a parallel
+// maintenance run through rel.Table.WithCounter handles) into the
+// database-wide counter, keeping its totals identical to a sequential run.
+// Callers must have joined the goroutines that charged the shard.
+func (d *Database) MergeCounter(c rel.CostCounter) { d.counter.Add(c) }
 
 // CreateTable registers a new stored table with the given bare-name schema.
 func (d *Database) CreateTable(name string, schema rel.Schema) (*rel.Table, error) {

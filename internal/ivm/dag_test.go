@@ -1,0 +1,182 @@
+package ivm
+
+import (
+	"testing"
+
+	"idivm/internal/algebra"
+	"idivm/internal/rel"
+)
+
+// reachability computes the transitive closure of a stepDAG (scripts are
+// small, so O(n²) DFS is fine).
+func reachability(d *stepDAG) [][]bool {
+	n := len(d.succ)
+	reach := make([][]bool, n)
+	var dfs func(mark []bool, i int)
+	dfs = func(mark []bool, i int) {
+		for _, j := range d.succ[i] {
+			if !mark[j] {
+				mark[j] = true
+				dfs(mark, j)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		reach[i] = make([]bool, n)
+		dfs(reach[i], i)
+	}
+	return reach
+}
+
+// checkDAGInvariants asserts the ordering guarantees buildDAG must give
+// any scheduler, via reachability rather than direct edges (so the builder
+// is free to rely on transitive chains):
+//
+//   - all edges point forward in script order and the DAG is acyclic and
+//     complete (a Kahn pass retires every step);
+//   - def-before-use: each step is reached from the producer of every
+//     binding it consumes;
+//   - apply serialization: applies to the same table are totally ordered;
+//   - freshness: a post-state read of a target is reached from every
+//     apply to that target.
+func checkDAGInvariants(t *testing.T, tag string, s *Script) *stepDAG {
+	t.Helper()
+	d := buildDAG(s)
+	n := len(s.Steps)
+
+	indeg := make([]int, n)
+	for from, succs := range d.succ {
+		for _, to := range succs {
+			if to <= from {
+				t.Errorf("%s: backward edge %d→%d", tag, from, to)
+			}
+			indeg[to]++
+		}
+	}
+	for i, want := range indeg {
+		if d.indeg[i] != want {
+			t.Errorf("%s: indeg[%d] = %d, succ lists imply %d", tag, i, d.indeg[i], want)
+		}
+	}
+	// Kahn: every step must retire (acyclic, no orphaned dependency).
+	left := append([]int(nil), indeg...)
+	queue := []int{}
+	for i := 0; i < n; i++ {
+		if left[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	retired := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		retired++
+		for _, j := range d.succ[i] {
+			if left[j]--; left[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if retired != n {
+		t.Fatalf("%s: Kahn retired %d of %d steps — cyclic or inconsistent DAG", tag, retired, n)
+	}
+
+	reach := reachability(d)
+	ordered := func(i, j int) bool { return reach[i][j] }
+
+	producer := map[string]int{}
+	applies := map[string][]int{}
+	for i, st := range s.Steps {
+		switch x := st.(type) {
+		case *ComputeStep:
+			for _, l := range planLeaves(x.Plan) {
+				switch l.Kind {
+				case leafBinding:
+					if p, ok := producer[l.Name]; ok && !ordered(p, i) {
+						t.Errorf("%s: step %d reads %q but is not ordered after producer %d", tag, i, l.Name, p)
+					}
+				case leafStored:
+					if l.St == rel.StatePost {
+						for _, a := range applies[l.Name] {
+							if !ordered(a, i) {
+								t.Errorf("%s: step %d reads post-state of %q but is not ordered after apply %d", tag, i, l.Name, a)
+							}
+						}
+					}
+				}
+			}
+			producer[x.Name] = i
+		case *ApplyStep:
+			if p, ok := producer[x.DiffName]; ok && !ordered(p, i) {
+				t.Errorf("%s: apply %d not ordered after producer %d of %q", tag, i, p, x.DiffName)
+			}
+			for _, a := range applies[x.Table] {
+				if !ordered(a, i) {
+					t.Errorf("%s: applies %d and %d to %q unordered", tag, a, i, x.Table)
+				}
+			}
+			applies[x.Table] = append(applies[x.Table], i)
+		}
+	}
+	return d
+}
+
+func TestDAGInvariantsOnGeneratedScripts(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *Script
+	}{
+		{"select-min", selectScript(t)},
+		{"select-raw", selectScript(t, GenOptions{NoMinimize: true})},
+		{"gamma-min", gammaScript(t)},
+		{"gamma-raw", gammaScript(t, GenOptions{NoMinimize: true})},
+		{"gamma-nocache", gammaScript(t, GenOptions{NoCache: true})},
+	}
+	for _, tc := range cases {
+		checkDAGInvariants(t, tc.name, tc.s)
+	}
+}
+
+// The aggregate script's per-diff compute steps are independent until the
+// combined group-delta step joins them: the DAG must expose parallelism,
+// not degenerate into the sequential chain.
+func TestDAGExposesParallelism(t *testing.T) {
+	s := gammaScript(t)
+	d := checkDAGInvariants(t, "gamma", s)
+	roots := 0
+	for _, deg := range d.indeg {
+		if deg == 0 {
+			roots++
+		}
+	}
+	if len(s.Steps) > 2 && roots < 2 {
+		t.Errorf("DAG of %d steps has %d ready roots; expected independent compute steps\n%s",
+			len(s.Steps), roots, s)
+	}
+}
+
+func TestPlanLeavesDedupAndOrder(t *testing.T) {
+	// Join children need pairwise-disjoint attributes; only the leaf names
+	// matter for the dedup assertion, so give every leaf its own columns.
+	mk := func(pfx string) rel.Schema {
+		return rel.NewSchema([]string{pfx + "_pid"}, []string{pfx + "_pid"})
+	}
+	plan := algebra.NewJoin(
+		algebra.NewJoin(algebra.NewRelRef("d1", mk("a")), algebra.NewStoredRef("V", mk("b"), rel.StatePre), nil),
+		algebra.NewJoin(algebra.NewRelRef("d1", mk("c")), algebra.NewScan("parts", "", mk("d")), nil),
+		nil)
+	got := planLeaves(plan)
+	want := []planLeaf{
+		{Kind: leafBinding, Name: "d1"},
+		{Kind: leafStored, Name: "V", St: rel.StatePre},
+		{Kind: leafScan, Name: "parts"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("planLeaves = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("leaf %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

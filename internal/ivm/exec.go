@@ -2,6 +2,7 @@ package ivm
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"idivm/internal/algebra"
@@ -21,8 +22,10 @@ type PhaseCosts struct {
 	ViewDiffTuples int
 	// ViewRowsTouched counts the view rows modified (|D_V|).
 	ViewRowsTouched int
-	// Steps records the per-step access counts, in execution order, for
-	// plan-level diagnosis.
+	// Steps records the per-step access counts, in script order, for
+	// plan-level diagnosis. Parallel runs attribute costs per step exactly
+	// (each step charges a private counter shard), so this breakdown is
+	// identical whatever the schedule.
 	Steps []StepCost
 }
 
@@ -50,19 +53,66 @@ func (p *PhaseCosts) TotalTime() time.Duration {
 	return t
 }
 
-// execEnv layers the script's relation bindings (base diff instances and
-// computed intermediates) over the database catalog.
-type execEnv struct {
-	d    *db.Database
+// ExecOptions configures one Δ-script execution.
+type ExecOptions struct {
+	// Workers bounds the executor's concurrency. 0 or 1 executes the steps
+	// sequentially in script order (the legacy behavior); >1 schedules the
+	// step-dependency DAG on that many pool workers, which preserves the
+	// final view/cache state and the exact access counts of the sequential
+	// run while overlapping independent steps.
+	Workers int
+	// Counter, when non-nil, receives all access charges of this run
+	// instead of the database-wide counter. System.MaintainAll uses one
+	// shard per view so concurrent maintenance runs never write one
+	// counter; callers merge the shard back via db.Database.MergeCounter.
+	Counter *rel.CostCounter
+}
+
+// scriptExec is the shared state of one script execution: the database,
+// the script, and the binding environment that compute steps extend. The
+// binding map is guarded for concurrent step execution; everything else is
+// read-only during the run.
+type scriptExec struct {
+	d *db.Database
+	s *Script
+
+	mu   sync.RWMutex
 	bind map[string]*rel.Relation
 }
 
+func (x *scriptExec) getBind(name string) (*rel.Relation, bool) {
+	x.mu.RLock()
+	r, ok := x.bind[name]
+	x.mu.RUnlock()
+	return r, ok
+}
+
+func (x *scriptExec) setBind(name string, r *rel.Relation) {
+	x.mu.Lock()
+	x.bind[name] = r
+	x.mu.Unlock()
+}
+
+// stepEnv is the algebra.Env one step evaluates under: bindings resolve
+// from the shared execution state, stored tables resolve to handles
+// charging this step's counter shard.
+type stepEnv struct {
+	x       *scriptExec
+	counter *rel.CostCounter
+}
+
 // Table implements algebra.Env.
-func (e *execEnv) Table(name string) (*rel.Table, error) { return e.d.Table(name) }
+func (e *stepEnv) Table(name string) (*rel.Table, error) {
+	t, err := e.x.d.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.WithCounter(e.counter), nil
+}
 
 // Rel implements algebra.Env.
-func (e *execEnv) Rel(name string) (*rel.Relation, error) {
-	if r, ok := e.bind[name]; ok {
+func (e *stepEnv) Rel(name string) (*rel.Relation, error) {
+	if r, ok := e.x.getBind(name); ok {
 		return r, nil
 	}
 	return nil, fmt.Errorf("ivm: unbound relation %q", name)
@@ -74,7 +124,7 @@ func (e *execEnv) Rel(name string) (*rel.Relation, error) {
 // The view and caches are placed in a maintenance epoch for the duration,
 // so plans may reference their pre-state at any point.
 func RunScript(d *db.Database, s *Script, bindings map[string]*rel.Relation) (*PhaseCosts, error) {
-	return runScript(d, s, bindings, false)
+	return runScript(d, s, bindings, false, ExecOptions{})
 }
 
 // RunScriptVerified is RunScript plus the Section 2 effectiveness
@@ -83,13 +133,23 @@ func RunScript(d *db.Database, s *Script, bindings map[string]*rel.Relation) (*P
 // are what make the apply order irrelevant). The extra probes are charged
 // like any other access, so use it in tests, not in measured runs.
 func RunScriptVerified(d *db.Database, s *Script, bindings map[string]*rel.Relation) (*PhaseCosts, error) {
-	return runScript(d, s, bindings, true)
+	return runScript(d, s, bindings, true, ExecOptions{})
 }
 
-func runScript(d *db.Database, s *Script, bindings map[string]*rel.Relation, verify bool) (*PhaseCosts, error) {
-	env := &execEnv{d: d, bind: make(map[string]*rel.Relation, len(bindings)+8)}
+// RunScriptOpts is RunScript with explicit execution options (worker count
+// and counter shard).
+func RunScriptOpts(d *db.Database, s *Script, bindings map[string]*rel.Relation, opts ExecOptions) (*PhaseCosts, error) {
+	return runScript(d, s, bindings, false, opts)
+}
+
+func runScript(d *db.Database, s *Script, bindings map[string]*rel.Relation, verify bool, opts ExecOptions) (*PhaseCosts, error) {
+	root := opts.Counter
+	if root == nil {
+		root = d.Counter()
+	}
+	x := &scriptExec{d: d, s: s, bind: make(map[string]*rel.Relation, len(bindings)+8)}
 	for k, v := range bindings { //ivmlint:allow maprange — map-to-map copy, order-free
-		env.bind[k] = v
+		x.bind[k] = v
 	}
 	// Open epochs on the view and every cache.
 	epochTables := []string{s.View}
@@ -111,48 +171,28 @@ func runScript(d *db.Database, s *Script, bindings map[string]*rel.Relation, ver
 		}
 	}()
 
-	counter := d.Counter()
+	var results []stepResult
+	var err error
+	if opts.Workers > 1 && len(s.Steps) > 1 {
+		results, err = x.runDAG(opts.Workers, root)
+	} else {
+		results, err = x.runSeq(root)
+	}
+	if err != nil {
+		return nil, err
+	}
+
 	pc := &PhaseCosts{}
 	var applied []*Instance // view-level instances, retained when verifying
-	for _, st := range s.Steps {
-		before := *counter
-		start := time.Now()
-		switch x := st.(type) {
-		case *ComputeStep:
-			r, err := algebra.Eval(x.Plan, env)
-			if err != nil {
-				return nil, fmt.Errorf("ivm: step %s: %w", x.Name, err)
-			}
-			env.bind[x.Name] = r
-		case *ApplyStep:
-			r, ok := env.bind[x.DiffName]
-			if !ok {
-				return nil, fmt.Errorf("ivm: apply of unbound diff %q", x.DiffName)
-			}
-			t, err := d.Table(x.Table)
-			if err != nil {
-				return nil, err
-			}
-			inst := &Instance{Schema: x.Diff, Rows: r}
-			n, err := inst.Apply(t)
-			if err != nil {
-				return nil, fmt.Errorf("ivm: applying %s to %s: %w", x.DiffName, x.Table, err)
-			}
-			pc.RowsTouched += n
-			if x.Table == s.View {
-				pc.ViewDiffTuples += r.Len()
-				pc.ViewRowsTouched += n
-				if verify {
-					applied = append(applied, inst)
-				}
-			}
-		default:
-			return nil, fmt.Errorf("ivm: unknown step type %T", st)
-		}
+	for i := range results {
+		r := &results[i]
+		st := s.Steps[r.idx]
 		ph := st.Phase()
-		delta := counter.Sub(before)
-		pc.Cost[ph].Add(delta)
-		pc.Time[ph] += time.Since(start)
+		pc.Cost[ph].Add(r.cost)
+		pc.Time[ph] += r.dur
+		pc.RowsTouched += r.rowsTouched
+		pc.ViewDiffTuples += r.viewDiffTuples
+		pc.ViewRowsTouched += r.viewRowsTouched
 		name := ""
 		switch x := st.(type) {
 		case *ComputeStep:
@@ -160,13 +200,17 @@ func runScript(d *db.Database, s *Script, bindings map[string]*rel.Relation, ver
 		case *ApplyStep:
 			name = "APPLY " + x.DiffName
 		}
-		pc.Steps = append(pc.Steps, StepCost{Step: name, Cost: delta})
+		pc.Steps = append(pc.Steps, StepCost{Step: name, Cost: r.cost})
+		if verify && r.applied != nil {
+			applied = append(applied, r.applied)
+		}
 	}
 	if verify {
 		vt, err := d.Table(s.View)
 		if err != nil {
 			return nil, err
 		}
+		vt = vt.WithCounter(root)
 		for _, inst := range applied {
 			ok, err := inst.IsEffective(vt)
 			if err != nil {
@@ -179,4 +223,66 @@ func runScript(d *db.Database, s *Script, bindings map[string]*rel.Relation, ver
 		}
 	}
 	return pc, nil
+}
+
+// runSeq executes the steps in script order on the calling goroutine,
+// charging root directly (per-step costs are exact deltas because nothing
+// else charges root during the run).
+func (x *scriptExec) runSeq(root *rel.CostCounter) ([]stepResult, error) {
+	results := make([]stepResult, len(x.s.Steps))
+	for i := range x.s.Steps {
+		r := x.runStep(i, root)
+		if r.err != nil {
+			return nil, r.err
+		}
+		results[i] = r
+	}
+	return results, nil
+}
+
+// runStep executes one step, charging all of its stored accesses to the
+// given counter, and reports the delta it caused.
+func (x *scriptExec) runStep(i int, counter *rel.CostCounter) stepResult {
+	res := stepResult{idx: i}
+	env := &stepEnv{x: x, counter: counter}
+	before := *counter
+	start := time.Now()
+	switch st := x.s.Steps[i].(type) {
+	case *ComputeStep:
+		r, err := algebra.Eval(st.Plan, env)
+		if err != nil {
+			res.err = fmt.Errorf("ivm: step %s: %w", st.Name, err)
+			return res
+		}
+		x.setBind(st.Name, r)
+	case *ApplyStep:
+		r, ok := x.getBind(st.DiffName)
+		if !ok {
+			res.err = fmt.Errorf("ivm: apply of unbound diff %q", st.DiffName)
+			return res
+		}
+		t, err := env.Table(st.Table)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		inst := &Instance{Schema: st.Diff, Rows: r}
+		n, err := inst.Apply(t)
+		if err != nil {
+			res.err = fmt.Errorf("ivm: applying %s to %s: %w", st.DiffName, st.Table, err)
+			return res
+		}
+		res.rowsTouched = n
+		if st.Table == x.s.View {
+			res.viewDiffTuples = r.Len()
+			res.viewRowsTouched = n
+			res.applied = inst
+		}
+	default:
+		res.err = fmt.Errorf("ivm: unknown step type %T", x.s.Steps[i])
+		return res
+	}
+	res.cost = counter.Sub(before)
+	res.dur = time.Since(start)
+	return res
 }

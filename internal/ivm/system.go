@@ -57,6 +57,13 @@ type System struct {
 	// the diffs it applies to views (Section 2). The extra probes are
 	// charged to the cost counters, so enable it in tests only.
 	SelfCheck bool
+	// Workers bounds maintenance concurrency. 0 or 1 keeps maintenance
+	// fully sequential; >1 schedules each Δ-script's step DAG on that many
+	// pool workers and lets MaintainAll maintain independent views
+	// concurrently (each view in its own epoch, charging its own counter
+	// shard). Final view state and total access counts are identical to
+	// the sequential run.
+	Workers int
 }
 
 // NewSystem creates an idIVM system over a database.
@@ -190,8 +197,13 @@ func (s *System) GenerateInstances(v *View) (map[string]*rel.Relation, int, erro
 
 // Maintain brings one view up to date with the modification log without
 // consuming the log (other views may still need it); call ResetLog (or use
-// MaintainAll) once every view is maintained.
+// MaintainAll) once every view is maintained. With Workers > 1 the view's
+// Δ-script runs on the step-DAG scheduler.
 func (s *System) Maintain(name string) (*Report, error) {
+	return s.maintain(name, ExecOptions{Workers: s.Workers})
+}
+
+func (s *System) maintain(name string, opts ExecOptions) (*Report, error) {
 	v, ok := s.views[name]
 	if !ok {
 		return nil, fmt.Errorf("ivm: unknown view %q", name)
@@ -201,11 +213,7 @@ func (s *System) Maintain(name string) (*Report, error) {
 		return nil, err
 	}
 	start := time.Now()
-	run := RunScript
-	if s.SelfCheck {
-		run = RunScriptVerified
-	}
-	pc, err := run(s.DB, v.Script, bindings)
+	pc, err := runScript(s.DB, v.Script, bindings, s.SelfCheck, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -213,8 +221,16 @@ func (s *System) Maintain(name string) (*Report, error) {
 }
 
 // MaintainAll maintains every registered view against the current log,
-// then clears the log and closes the base-table epochs.
+// then clears the log and closes the base-table epochs. With Workers > 1,
+// independent views are maintained concurrently on the worker pool: each
+// view runs in its own epoch (views and their caches are disjoint tables)
+// and charges a private counter shard, merged into the database counter in
+// registration order once all views complete — so reports and totals are
+// those of the sequential run.
 func (s *System) MaintainAll() ([]*Report, error) {
+	if s.Workers > 1 && len(s.order) > 1 {
+		return s.maintainAllParallel()
+	}
 	var out []*Report
 	for _, name := range s.order {
 		r, err := s.Maintain(name)
@@ -222,6 +238,33 @@ func (s *System) MaintainAll() ([]*Report, error) {
 			return out, err
 		}
 		out = append(out, r)
+	}
+	s.DB.ResetLog()
+	return out, nil
+}
+
+// maintainAllParallel fans the registered views out over the worker pool.
+// On failure it reports the erroring view earliest in registration order,
+// with the reports of the views registered before it; views after it may
+// or may not have been maintained, exactly as consistent as the sequential
+// path's early return leaves them.
+func (s *System) maintainAllParallel() ([]*Report, error) {
+	n := len(s.order)
+	reports := make([]*Report, n)
+	errs := make([]error, n)
+	shards := make([]rel.CostCounter, n)
+	parallelFor(s.Workers, n, func(i int) {
+		reports[i], errs[i] = s.maintain(s.order[i], ExecOptions{Workers: s.Workers, Counter: &shards[i]})
+	})
+	for i := range shards {
+		s.DB.MergeCounter(shards[i])
+	}
+	var out []*Report
+	for i := range reports {
+		if errs[i] != nil {
+			return out, errs[i]
+		}
+		out = append(out, reports[i])
 	}
 	s.DB.ResetLog()
 	return out, nil

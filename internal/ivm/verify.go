@@ -194,22 +194,15 @@ func Verify(s *Script) error {
 				return err
 			}
 			// Freshness: post-state reads require all applies to the target
-			// to have executed already.
-			var fresh error
-			algebra.Walk(x.Plan, func(n algebra.Node) {
-				if fresh != nil {
-					return
+			// to have executed already. This is also what entitles the
+			// parallel scheduler to hang a post-read's DAG edge off the
+			// target's final apply step (see buildDAG).
+			for _, l := range planLeaves(x.Plan) {
+				if l.Kind == leafStored && l.St == rel.StatePost && pendingApplies[l.Name] > 0 {
+					return verr(s, VerifyStalePostRead, i, x.Name,
+						"plan reads post-state of %q with %d apply step(s) still pending",
+						l.Name, pendingApplies[l.Name])
 				}
-				if ref, ok := n.(*algebra.RelRef); ok && ref.Stored && ref.St == rel.StatePost {
-					if pendingApplies[ref.Name] > 0 {
-						fresh = verr(s, VerifyStalePostRead, i, x.Name,
-							"plan reads post-state of %q with %d apply step(s) still pending",
-							ref.Name, pendingApplies[ref.Name])
-					}
-				}
-			})
-			if fresh != nil {
-				return fresh
 			}
 			if x.Diff != nil {
 				if err := checkDiffShape(s, i, x.Name, *x.Diff); err != nil {
@@ -312,35 +305,32 @@ func Verify(s *Script) error {
 	return nil
 }
 
-// checkPlanRefs validates the leaves of a plan: non-stored references must
-// be bound, stored references must name a known target, and scans must read
-// base tables of the view.
+// checkPlanRefs validates the leaves of a plan — extracted by the same
+// planLeaves walk the DAG builder uses — in first-appearance order:
+// non-stored references must be bound, stored references must name a known
+// target, and scans must read base tables of the view.
 func checkPlanRefs(s *Script, step int, name string, plan algebra.Node,
 	isBound, isTarget func(string) bool, baseTables map[string]bool) error {
-	var bad error
-	algebra.Walk(plan, func(n algebra.Node) {
-		if bad != nil {
-			return
-		}
-		switch x := n.(type) {
-		case *algebra.RelRef:
-			if x.Stored {
-				if !isTarget(x.Name) {
-					bad = verr(s, VerifyUnknownTable, step, name,
-						"plan references stored table %q, which is neither the view nor an available cache", x.Name)
-				}
-			} else if !isBound(x.Name) {
-				bad = verr(s, VerifyUnboundRef, step, name,
-					"plan references binding %q before it is defined", x.Name)
+	for _, l := range planLeaves(plan) {
+		switch l.Kind {
+		case leafStored:
+			if !isTarget(l.Name) {
+				return verr(s, VerifyUnknownTable, step, name,
+					"plan references stored table %q, which is neither the view nor an available cache", l.Name)
 			}
-		case *algebra.Scan:
-			if !baseTables[x.Table] {
-				bad = verr(s, VerifyUnknownTable, step, name,
-					"plan scans %q, which is not a base table of the view", x.Table)
+		case leafBinding:
+			if !isBound(l.Name) {
+				return verr(s, VerifyUnboundRef, step, name,
+					"plan references binding %q before it is defined", l.Name)
+			}
+		case leafScan:
+			if !baseTables[l.Name] {
+				return verr(s, VerifyUnknownTable, step, name,
+					"plan scans %q, which is not a base table of the view", l.Name)
 			}
 		}
-	})
-	return bad
+	}
+	return nil
 }
 
 // checkDiffShape enforces the Section 2 shape of a diff schema: inserts

@@ -79,27 +79,35 @@ func indexSig(attrs []string) string { return strings.Join(attrs, "\x00") }
 // indexOn returns (building lazily) the secondary index over attrs for the
 // requested state. Pre-state indexes are cached for the epoch; post-state
 // indexes are maintained incrementally by the table's mutation paths.
-func (t *Table) indexOn(s State, attrs []string) (*hashIndex, error) {
-	idx, err := t.schema.Indices(attrs)
+//
+// Callers hold c.mu (read or write). Two readers may race to build the
+// same cold index under their shared RLock, so the check-build-install
+// sequence is serialized by the leaf mutex idxMu; mutation paths hold the
+// write lock, which already excludes readers, but take idxMu anyway to
+// keep the cache-map discipline uniform.
+func (c *tableCore) indexOn(s State, attrs []string) (*hashIndex, error) {
+	idx, err := c.schema.Indices(attrs)
 	if err != nil {
 		return nil, err
 	}
 	sig := indexSig(attrs)
 	var cache map[string]*hashIndex
 	var rows []Tuple
-	if s == StatePre && t.inEpoch {
+	if s == StatePre && c.inEpoch {
 		// Until the first write of the epoch, the pre- and post-states are
 		// identical (same content, same row order), so the incrementally
 		// maintained post-state index serves pre-state probes without a
 		// rebuild.
-		if !t.epochMutated {
-			cache, rows = t.secondary, t.rows
+		if !c.epochMutated {
+			cache, rows = c.secondary, c.rows
 		} else {
-			cache, rows = t.preSecondary, t.preRows
+			cache, rows = c.preSecondary, c.preRows
 		}
 	} else {
-		cache, rows = t.secondary, t.rows
+		cache, rows = c.secondary, c.rows
 	}
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
 	if h, ok := cache[sig]; ok {
 		return h, nil
 	}
@@ -108,28 +116,37 @@ func (t *Table) indexOn(s State, attrs []string) (*hashIndex, error) {
 	return h, nil
 }
 
-// Incremental maintenance hooks called by the table's mutation paths.
+// Incremental maintenance hooks called by the table's mutation paths,
+// which hold the write lock.
 
-func (t *Table) indexesAdd(row Tuple, pos int) {
-	for _, h := range t.secondary {
+func (c *tableCore) indexesAdd(row Tuple, pos int) {
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	for _, h := range c.secondary { //ivmlint:allow maprange — every index updated, order-free
 		h.add(row, pos)
 	}
 }
 
-func (t *Table) indexesRemove(row Tuple, pos int) {
-	for _, h := range t.secondary {
+func (c *tableCore) indexesRemove(row Tuple, pos int) {
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	for _, h := range c.secondary { //ivmlint:allow maprange — every index updated, order-free
 		h.remove(row, pos)
 	}
 }
 
-func (t *Table) indexesMove(row Tuple, from, to int) {
-	for _, h := range t.secondary {
+func (c *tableCore) indexesMove(row Tuple, from, to int) {
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	for _, h := range c.secondary { //ivmlint:allow maprange — every index updated, order-free
 		h.move(row, from, to)
 	}
 }
 
-func (t *Table) indexesUpdate(oldRow, newRow Tuple, pos int) {
-	for _, h := range t.secondary {
+func (c *tableCore) indexesUpdate(oldRow, newRow Tuple, pos int) {
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	for _, h := range c.secondary { //ivmlint:allow maprange — every index updated, order-free
 		h.update(oldRow, newRow, pos)
 	}
 }

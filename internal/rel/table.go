@@ -2,6 +2,7 @@ package rel
 
 import (
 	"fmt"
+	"sync"
 )
 
 // State selects which version of a stored table an access refers to during
@@ -24,22 +25,28 @@ func (s State) String() string {
 	return "post"
 }
 
-// Table is a stored relation: a base table, a materialized view, or an
-// intermediate cache. It maintains a primary-key hash index, lazily built
-// secondary hash indexes, and an optional pre-state snapshot used during a
-// maintenance epoch (deferred IVM).
+// tableCore is the shared storage of a table: rows, indexes and epoch
+// state. Multiple Table handles (differing only in their cost counter)
+// may point at one core, so every access goes through core.mu:
 //
-// Every read performed through Scan/Get/Lookup and every write performed
-// through Insert/Delete/Update is charged to the attached CostCounter,
-// implementing the access-count cost model of the paper's Section 6.
-type Table struct {
-	name    string
-	schema  Schema
-	keyIdx  []int
-	rows    []Tuple
-	byKey   map[string]int
-	counter *CostCounter
+//   - readers (Scan/Get/Lookup/Len/Rows/Relation) hold mu.RLock; the
+//     Δ-script scheduler may run many of them concurrently;
+//   - writers (Insert/Delete/Update/Begin-/EndEpoch) hold mu.Lock; the
+//     scheduler serializes apply steps per table, so writer contention is
+//     only with readers of *other* states (pre-state probes), which the
+//     lock makes safe;
+//   - lazy secondary-index builds can happen under an RLock (two readers
+//     probing the same cold index), so the index caches are additionally
+//     guarded by the leaf mutex idxMu.
+type tableCore struct {
+	mu     sync.RWMutex
+	name   string
+	schema Schema
+	keyIdx []int
+	rows   []Tuple
+	byKey  map[string]int
 
+	idxMu     sync.Mutex            // guards lazy build/install in the index caches
 	secondary map[string]*hashIndex // post-state secondary indexes
 
 	inEpoch      bool
@@ -47,6 +54,23 @@ type Table struct {
 	preRows      []Tuple
 	preByKey     map[string]int
 	preSecondary map[string]*hashIndex
+}
+
+// Table is a handle on a stored relation: a base table, a materialized
+// view, or an intermediate cache. The underlying storage maintains a
+// primary-key hash index, lazily built secondary hash indexes, and an
+// optional pre-state snapshot used during a maintenance epoch (deferred
+// IVM).
+//
+// Every read performed through Scan/Get/Lookup and every write performed
+// through Insert/Delete/Update is charged to the handle's CostCounter,
+// implementing the access-count cost model of the paper's Section 6.
+// WithCounter derives a handle over the same storage charging a different
+// counter, which is how the parallel executor shards cost attribution
+// without sharing (and hence racing on) one counter.
+type Table struct {
+	core    *tableCore
+	counter *CostCounter
 }
 
 // NewTable creates an empty stored table. The schema must declare a
@@ -60,13 +84,13 @@ func NewTable(name string, schema Schema) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Table{
+	return &Table{core: &tableCore{
 		name:      name,
 		schema:    schema.Clone(),
 		keyIdx:    idx,
 		byKey:     make(map[string]int),
 		secondary: make(map[string]*hashIndex),
-	}, nil
+	}}, nil
 }
 
 // MustNewTable is NewTable that panics on error, for generators and tests.
@@ -79,23 +103,40 @@ func MustNewTable(name string, schema Schema) *Table {
 }
 
 // Name returns the table's name.
-func (t *Table) Name() string { return t.name }
+func (t *Table) Name() string { return t.core.name }
 
 // Schema returns the table's schema.
-func (t *Table) Schema() Schema { return t.schema }
+func (t *Table) Schema() Schema { return t.core.schema }
 
-// SetCounter attaches the cost counter charged by subsequent accesses.
+// SetCounter attaches the cost counter charged by subsequent accesses
+// through this handle.
 func (t *Table) SetCounter(c *CostCounter) { t.counter = c }
 
+// WithCounter returns a handle over the same stored data that charges its
+// accesses to c instead. The executor hands each worker such a handle so
+// concurrent steps never write one counter.
+func (t *Table) WithCounter(c *CostCounter) *Table {
+	if c == t.counter {
+		return t
+	}
+	return &Table{core: t.core, counter: c}
+}
+
 // Len returns the number of live (post-state) rows.
-func (t *Table) Len() int { return len(t.rows) }
+func (t *Table) Len() int {
+	t.core.mu.RLock()
+	defer t.core.mu.RUnlock()
+	return len(t.core.rows)
+}
 
 // LenPre returns the number of pre-state rows (same as Len outside an epoch).
 func (t *Table) LenPre() int {
-	if t.inEpoch {
-		return len(t.preRows)
+	t.core.mu.RLock()
+	defer t.core.mu.RUnlock()
+	if t.core.inEpoch {
+		return len(t.core.preRows)
 	}
-	return len(t.rows)
+	return len(t.core.rows)
 }
 
 func (t *Table) charge(reads, lookups, writes int64) {
@@ -106,27 +147,36 @@ func (t *Table) charge(reads, lookups, writes int64) {
 	}
 }
 
-func (t *Table) keyOf(row Tuple) string { return KeyOf(row, t.keyIdx) }
+func (c *tableCore) keyOf(row Tuple) string { return KeyOf(row, c.keyIdx) }
 
-func (t *Table) stateRows(s State) ([]Tuple, map[string]int) {
-	if s == StatePre && t.inEpoch {
-		return t.preRows, t.preByKey
+func (c *tableCore) stateRows(s State) ([]Tuple, map[string]int) {
+	if s == StatePre && c.inEpoch {
+		return c.preRows, c.preByKey
 	}
-	return t.rows, t.byKey
+	return c.rows, c.byKey
 }
 
 // Rows returns the raw tuples of the requested state without charging the
 // cost counter. It exists for verification, snapshotting and test oracles;
-// plan evaluation must use Scan. Callers must not mutate the tuples.
+// plan evaluation must use Scan. Callers must not mutate the tuples, and —
+// when other goroutines may write the table — must not retain a post-state
+// slice across a mutation.
 func (t *Table) Rows(s State) []Tuple {
-	rows, _ := t.stateRows(s)
+	t.core.mu.RLock()
+	defer t.core.mu.RUnlock()
+	rows, _ := t.core.stateRows(s)
 	return rows
 }
 
 // Scan reads every tuple of the requested state, charging one tuple read
-// per row. Callers must not mutate the returned tuples.
+// per row. Callers must not mutate the returned tuples. The returned slice
+// aliases table storage; the Δ-script DAG guarantees no concurrent writer
+// exists for the state being read (post-state reads are ordered after all
+// applies, pre-state rows are frozen for the epoch).
 func (t *Table) Scan(s State) []Tuple {
-	rows, _ := t.stateRows(s)
+	t.core.mu.RLock()
+	rows, _ := t.core.stateRows(s)
+	t.core.mu.RUnlock()
 	t.charge(int64(len(rows)), 0, 0)
 	return rows
 }
@@ -134,26 +184,34 @@ func (t *Table) Scan(s State) []Tuple {
 // Relation materializes the requested state as a Relation, without
 // charging the counter (snapshot utility).
 func (t *Table) Relation(s State) *Relation {
-	rows, _ := t.stateRows(s)
-	r := NewRelation(t.schema)
+	t.core.mu.RLock()
+	rows, _ := t.core.stateRows(s)
+	r := NewRelation(t.core.schema)
 	r.Tuples = append(r.Tuples, rows...)
+	t.core.mu.RUnlock()
 	return r
 }
 
 // Get fetches the row with the given primary-key values, charging one
 // index lookup plus one tuple read when found.
 func (t *Table) Get(s State, key []Value) (Tuple, bool) {
-	rows, byKey := t.stateRows(s)
 	kt := make(Tuple, len(key))
 	copy(kt, key)
 	k := TupleKey(kt)
-	t.charge(0, 1, 0)
+	t.core.mu.RLock()
+	rows, byKey := t.core.stateRows(s)
 	i, ok := byKey[k]
+	var row Tuple
+	if ok {
+		row = rows[i]
+	}
+	t.core.mu.RUnlock()
+	t.charge(0, 1, 0)
 	if !ok {
 		return nil, false
 	}
 	t.charge(1, 0, 0)
-	return rows[i], true
+	return row, true
 }
 
 // Lookup probes a (lazily built) secondary hash index over the named
@@ -161,36 +219,41 @@ func (t *Table) Get(s State, key []Value) (Tuple, bool) {
 // Building the index itself is not charged: the paper's analysis assumes
 // the necessary indexes exist.
 func (t *Table) Lookup(s State, attrs []string, vals []Value) ([]Tuple, error) {
-	idx, err := t.indexOn(s, attrs)
+	t.core.mu.RLock()
+	idx, err := t.core.indexOn(s, attrs)
 	if err != nil {
+		t.core.mu.RUnlock()
 		return nil, err
 	}
-	rows, _ := t.stateRows(s)
-	t.charge(0, 1, 0)
+	rows, _ := t.core.stateRows(s)
 	positions := idx.get(vals)
 	out := make([]Tuple, 0, len(positions))
 	for _, p := range positions {
 		out = append(out, rows[p])
 	}
-	t.charge(int64(len(out)), 0, 0)
+	t.core.mu.RUnlock()
+	t.charge(int64(len(out)), 1, 0)
 	return out, nil
 }
 
 // Insert adds a row, failing on a primary-key conflict. One tuple write is
 // charged.
 func (t *Table) Insert(row Tuple) error {
-	if len(row) != len(t.schema.Attrs) {
-		return fmt.Errorf("rel: table %q: tuple width %d != schema width %d", t.name, len(row), len(t.schema.Attrs))
+	c := t.core
+	if len(row) != len(c.schema.Attrs) {
+		return fmt.Errorf("rel: table %q: tuple width %d != schema width %d", c.name, len(row), len(c.schema.Attrs))
 	}
-	k := t.keyOf(row)
-	if _, dup := t.byKey[k]; dup {
-		return fmt.Errorf("rel: table %q: duplicate key %s", t.name, Tuple(row).String())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := c.keyOf(row)
+	if _, dup := c.byKey[k]; dup {
+		return fmt.Errorf("rel: table %q: duplicate key %s", c.name, Tuple(row).String())
 	}
-	pos := len(t.rows)
-	t.byKey[k] = pos
-	t.rows = append(t.rows, row.Clone())
-	t.indexesAdd(t.rows[pos], pos)
-	t.epochMutated = true
+	pos := len(c.rows)
+	c.byKey[k] = pos
+	c.rows = append(c.rows, row.Clone())
+	c.indexesAdd(c.rows[pos], pos)
+	c.epochMutated = true
 	t.charge(0, 0, 1)
 	return nil
 }
@@ -208,22 +271,25 @@ func (t *Table) MustInsert(vals ...Value) {
 // would be a primary-key violation and indicates a non-effective diff.
 // One index lookup is always charged; one write when the row is inserted.
 func (t *Table) InsertIfAbsent(row Tuple) (inserted bool, err error) {
-	if len(row) != len(t.schema.Attrs) {
-		return false, fmt.Errorf("rel: table %q: tuple width %d != schema width %d", t.name, len(row), len(t.schema.Attrs))
+	c := t.core
+	if len(row) != len(c.schema.Attrs) {
+		return false, fmt.Errorf("rel: table %q: tuple width %d != schema width %d", c.name, len(row), len(c.schema.Attrs))
 	}
-	k := t.keyOf(row)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := c.keyOf(row)
 	t.charge(0, 1, 0)
-	if i, ok := t.byKey[k]; ok {
-		if t.rows[i].Equal(row) {
+	if i, ok := c.byKey[k]; ok {
+		if c.rows[i].Equal(row) {
 			return false, nil
 		}
-		return false, fmt.Errorf("rel: table %q: key conflict inserting %s over %s", t.name, row.String(), t.rows[i].String())
+		return false, fmt.Errorf("rel: table %q: key conflict inserting %s over %s", c.name, row.String(), c.rows[i].String())
 	}
-	pos := len(t.rows)
-	t.byKey[k] = pos
-	t.rows = append(t.rows, row.Clone())
-	t.indexesAdd(t.rows[pos], pos)
-	t.epochMutated = true
+	pos := len(c.rows)
+	c.byKey[k] = pos
+	c.rows = append(c.rows, row.Clone())
+	c.indexesAdd(c.rows[pos], pos)
+	c.epochMutated = true
 	t.charge(0, 0, 1)
 	return true, nil
 }
@@ -233,12 +299,15 @@ func (t *Table) InsertIfAbsent(row Tuple) (inserted bool, err error) {
 func (t *Table) DeleteKey(key []Value) bool {
 	kt := make(Tuple, len(key))
 	copy(kt, key)
+	c := t.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	t.charge(0, 1, 0)
-	i, ok := t.byKey[TupleKey(kt)]
+	i, ok := c.byKey[TupleKey(kt)]
 	if !ok {
 		return false
 	}
-	t.removeAt(i)
+	c.removeAt(i)
 	t.charge(0, 0, 1)
 	return true
 }
@@ -247,7 +316,10 @@ func (t *Table) DeleteKey(key []Value) bool {
 // delete, the APPLY semantics of delete i-diffs). It charges one index
 // lookup plus one write per removed row, and returns the removal count.
 func (t *Table) DeleteWhere(attrs []string, vals []Value) (int, error) {
-	idx, err := t.indexOn(StatePost, attrs)
+	c := t.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx, err := c.indexOn(StatePost, attrs)
 	if err != nil {
 		return 0, err
 	}
@@ -259,11 +331,11 @@ func (t *Table) DeleteWhere(attrs []string, vals []Value) (int, error) {
 	// Collect keys first: removeAt perturbs positions.
 	keys := make([]string, 0, len(positions))
 	for _, p := range positions {
-		keys = append(keys, t.keyOf(t.rows[p]))
+		keys = append(keys, c.keyOf(c.rows[p]))
 	}
 	for _, k := range keys {
-		if i, ok := t.byKey[k]; ok {
-			t.removeAt(i)
+		if i, ok := c.byKey[k]; ok {
+			c.removeAt(i)
 			t.charge(0, 0, 1)
 		}
 	}
@@ -275,30 +347,33 @@ func (t *Table) DeleteWhere(attrs []string, vals []Value) (int, error) {
 // write per updated row and returns the update count. Key attributes
 // cannot be updated (they are immutable in the paper's model).
 func (t *Table) UpdateWhere(attrs []string, vals []Value, setAttrs []string, setVals []Value) (int, error) {
+	c := t.core
 	for _, a := range setAttrs {
-		if Contains(t.schema.Key, a) {
-			return 0, fmt.Errorf("rel: table %q: cannot update key attribute %q", t.name, a)
+		if Contains(c.schema.Key, a) {
+			return 0, fmt.Errorf("rel: table %q: cannot update key attribute %q", c.name, a)
 		}
 	}
-	setIdx, err := t.schema.Indices(setAttrs)
+	setIdx, err := c.schema.Indices(setAttrs)
 	if err != nil {
 		return 0, err
 	}
-	idx, err := t.indexOn(StatePost, attrs)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx, err := c.indexOn(StatePost, attrs)
 	if err != nil {
 		return 0, err
 	}
 	t.charge(0, 1, 0)
 	positions := idx.get(vals)
 	for _, p := range positions {
-		old := t.rows[p]
+		old := c.rows[p]
 		nr := old.Clone() // preserve pre-state snapshot aliasing
 		for i, j := range setIdx {
 			nr[j] = setVals[i]
 		}
-		t.rows[p] = nr
-		t.indexesUpdate(old, nr, p)
-		t.epochMutated = true
+		c.rows[p] = nr
+		c.indexesUpdate(old, nr, p)
+		c.epochMutated = true
 		t.charge(0, 0, 1)
 	}
 	return len(positions), nil
@@ -307,23 +382,23 @@ func (t *Table) UpdateWhere(attrs []string, vals []Value, setAttrs []string, set
 // UpdateKey updates the single row with the given primary key. It charges
 // one index lookup plus one write when the row exists.
 func (t *Table) UpdateKey(key []Value, setAttrs []string, setVals []Value) (bool, error) {
-	n, err := t.UpdateWhere(t.schema.Key, key, setAttrs, setVals)
+	n, err := t.UpdateWhere(t.core.schema.Key, key, setAttrs, setVals)
 	return n > 0, err
 }
 
-func (t *Table) removeAt(i int) {
-	t.epochMutated = true
-	t.indexesRemove(t.rows[i], i)
-	delete(t.byKey, t.keyOf(t.rows[i]))
-	last := len(t.rows) - 1
+func (c *tableCore) removeAt(i int) {
+	c.epochMutated = true
+	c.indexesRemove(c.rows[i], i)
+	delete(c.byKey, c.keyOf(c.rows[i]))
+	last := len(c.rows) - 1
 	if i != last {
-		moved := t.rows[last]
-		t.rows[i] = moved
-		t.byKey[t.keyOf(moved)] = i
-		t.indexesMove(moved, last, i)
+		moved := c.rows[last]
+		c.rows[i] = moved
+		c.byKey[c.keyOf(moved)] = i
+		c.indexesMove(moved, last, i)
 	}
-	t.rows[last] = nil
-	t.rows = t.rows[:last]
+	c.rows[last] = nil
+	c.rows = c.rows[:last]
 }
 
 // BeginEpoch snapshots the current contents as the pre-state. Subsequent
@@ -332,36 +407,48 @@ func (t *Table) removeAt(i int) {
 // to the cost counter (it models the DBMS's ability to read the pre-state
 // from diffs/log, per Section 4's Input_pre).
 func (t *Table) BeginEpoch() {
-	if t.inEpoch {
+	c := t.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inEpoch {
 		return
 	}
-	t.inEpoch = true
-	t.epochMutated = false
-	t.preRows = append([]Tuple(nil), t.rows...)
-	t.preByKey = make(map[string]int, len(t.byKey))
-	for k, v := range t.byKey {
-		t.preByKey[k] = v
+	c.inEpoch = true
+	c.epochMutated = false
+	c.preRows = append([]Tuple(nil), c.rows...)
+	c.preByKey = make(map[string]int, len(c.byKey))
+	for k, v := range c.byKey { //ivmlint:allow maprange — map-to-map copy, order-free
+		c.preByKey[k] = v
 	}
-	t.preSecondary = make(map[string]*hashIndex)
+	c.preSecondary = make(map[string]*hashIndex)
 }
 
 // EndEpoch discards the pre-state snapshot.
 func (t *Table) EndEpoch() {
-	t.inEpoch = false
-	t.epochMutated = false
-	t.preRows = nil
-	t.preByKey = nil
-	t.preSecondary = nil
+	c := t.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inEpoch = false
+	c.epochMutated = false
+	c.preRows = nil
+	c.preByKey = nil
+	c.preSecondary = nil
 }
 
 // InEpoch reports whether a maintenance epoch is active.
-func (t *Table) InEpoch() bool { return t.inEpoch }
+func (t *Table) InEpoch() bool {
+	t.core.mu.RLock()
+	defer t.core.mu.RUnlock()
+	return t.core.inEpoch
+}
 
 // Clone returns an independent deep copy of the table's post-state (no
 // epoch state, no counter).
 func (t *Table) Clone() *Table {
-	c := MustNewTable(t.name, t.schema)
-	for _, r := range t.rows {
+	c := MustNewTable(t.core.name, t.core.schema)
+	t.core.mu.RLock()
+	defer t.core.mu.RUnlock()
+	for _, r := range t.core.rows {
 		if err := c.Insert(r); err != nil {
 			panic(err)
 		}
