@@ -23,11 +23,12 @@ lint:
 
 # bench-smoke mirrors CI's benchmark regression gate: a one-iteration run
 # of the Figure 12a (d=200) and SPJ headline benchmarks, converted to
-# BENCH_2.json and compared against testdata/bench_baseline.json on the
-# deterministic accesses/op metric (>20% worse fails). Regenerate the
-# baseline after a deliberate cost change with:
+# BENCH_3.json (ns/op, allocs/op and accesses/op per row) and compared
+# against testdata/bench_baseline.json on the deterministic accesses/op
+# metric (>20% worse fails). Regenerate the baseline after a deliberate
+# cost change with:
 #   make bench-smoke BENCHJSON_FLAGS='-o testdata/bench_baseline.json'
-BENCHJSON_FLAGS ?= -o BENCH_2.json -baseline testdata/bench_baseline.json
+BENCHJSON_FLAGS ?= -o BENCH_3.json -baseline testdata/bench_baseline.json
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkFig12a_DiffSize$$/^d=200$$' -benchtime=1x . | tee bench.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkSPJNonConditionalUpdate$$' -benchtime=1x . | tee -a bench.txt

@@ -63,6 +63,7 @@ func benchIVM(b *testing.B, p workload.Params, agg bool, mode ivm.Mode, workers 
 		b.Fatal(err)
 	}
 	var accesses int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -91,6 +92,7 @@ func benchSDBT(b *testing.B, p workload.Params, variant sdbt.Variant) {
 		b.Fatal(err)
 	}
 	var accesses int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -145,6 +147,7 @@ func BenchmarkFig10(b *testing.B) {
 					b.Fatal(err)
 				}
 				var accesses int64
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
@@ -251,6 +254,7 @@ func benchIVMOpts(b *testing.B, p workload.Params, opts ivm.GenOptions) {
 		b.Fatal(err)
 	}
 	var accesses int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()

@@ -3,12 +3,13 @@
 //
 // Usage:
 //
-//	go test -bench ... | benchjson -o BENCH_2.json
-//	benchjson -o BENCH_2.json bench.txt
+//	go test -bench ... | benchjson -o BENCH_3.json
+//	benchjson -o BENCH_3.json bench.txt
 //	benchjson -baseline testdata/bench_baseline.json bench.txt
 //
-// Every benchmark line is parsed into its full metric set (ns/op plus any
-// testing.B.ReportMetric columns such as accesses/op). The regression gate
+// Every benchmark line is parsed into its full metric set: ns/op, the
+// B/op + allocs/op columns emitted by testing.B.ReportAllocs, and any
+// testing.B.ReportMetric columns such as accesses/op. The regression gate
 // compares one metric — by default accesses/op, which is a deterministic
 // count in this repository, unlike ns/op — and exits non-zero when the
 // current value exceeds baseline*(1+threshold). Benchmarks present only on

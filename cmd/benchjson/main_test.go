@@ -91,7 +91,7 @@ func TestRunGate(t *testing.T) {
 	if err := os.WriteFile(benchTxt, []byte(sampleOutput), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	outJSON := filepath.Join(dir, "BENCH_2.json")
+	outJSON := filepath.Join(dir, "BENCH_3.json")
 
 	// No baseline: exit 0 and write the JSON document.
 	var stdout, stderr bytes.Buffer

@@ -49,14 +49,21 @@ func Eval(n Node, env Env) (*rel.Relation, error) {
 	}
 }
 
+// aliasTuples presents rows as a Relation without copying, clamping the
+// slice capacity so a later Add reallocates instead of writing into the
+// shared backing array. Rows scanned from a table stay valid for the
+// duration of a maintenance round: pre-state rows are frozen for the epoch
+// and the step DAG orders post-state reads after the table's last apply.
+func aliasTuples(sch rel.Schema, rows []rel.Tuple) *rel.Relation {
+	return &rel.Relation{Schema: sch, Tuples: rows[:len(rows):len(rows)]}
+}
+
 func evalScan(s *Scan, env Env) (*rel.Relation, error) {
 	t, err := env.Table(s.Table)
 	if err != nil {
 		return nil, err
 	}
-	out := rel.NewRelation(s.schema)
-	out.Tuples = append(out.Tuples, t.Scan(s.St)...)
-	return out, nil
+	return aliasTuples(s.schema, t.Scan(s.St)), nil
 }
 
 func evalRelRef(r *RelRef, env Env) (*rel.Relation, error) {
@@ -65,20 +72,19 @@ func evalRelRef(r *RelRef, env Env) (*rel.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := rel.NewRelation(r.Sch)
-		out.Tuples = append(out.Tuples, t.Scan(r.St)...)
-		return out, nil
+		return aliasTuples(r.Sch, t.Scan(r.St)), nil
 	}
 	rr, err := env.Rel(r.Name)
 	if err != nil {
 		return nil, err
 	}
-	out := rel.NewRelation(r.Sch)
-	out.Tuples = append(out.Tuples, rr.Tuples...)
-	return out, nil
+	return aliasTuples(r.Sch, rr.Tuples), nil
 }
 
 func evalSelect(s *Select, env Env) (*rel.Relation, error) {
+	if sh, ok := shapeOf(s); ok {
+		return evalStoredSelect(sh, env)
+	}
 	child, err := Eval(s.Child, env)
 	if err != nil {
 		return nil, err
@@ -91,6 +97,62 @@ func evalSelect(s *Select, env Env) (*rel.Relation, error) {
 	for _, t := range child.Tuples {
 		if pred.EvalBool(t) {
 			out.Add(t)
+		}
+	}
+	return out, nil
+}
+
+// evalStoredSelect runs a σ-chain over a stored leaf. When the predicate
+// carries column = literal equalities, the planner consults the index
+// cardinality (uncharged catalog metadata) and takes the index probe —
+// 1 lookup + p matching reads — whenever it is strictly cheaper than the
+// n-read scan, so access counts never increase over the scan plan. The
+// compiled path makes the identical decision (see compile.go), preserving
+// counter parity between the two executors.
+func evalStoredSelect(sh *probeShape, env Env) (*rel.Relation, error) {
+	t, err := env.Table(sh.table)
+	if err != nil {
+		return nil, err
+	}
+	cols, vals, residual := expr.EqLiterals(sh.extra, sh.schema)
+	if len(cols) > 0 {
+		bare := make([]string, len(cols))
+		for i, c := range cols {
+			bare[i] = sh.toBare(c)
+		}
+		p, n, err := t.IndexCard(sh.st, bare, vals)
+		if err != nil {
+			return nil, err
+		}
+		if p+1 < n {
+			rows, err := t.Lookup(sh.st, bare, vals)
+			if err != nil {
+				return nil, err
+			}
+			if expr.IsTrueLit(residual) {
+				return aliasTuples(sh.schema, rows), nil
+			}
+			pred, err := expr.Compile(residual, sh.schema)
+			if err != nil {
+				return nil, err
+			}
+			out := rel.NewRelation(sh.schema)
+			for _, r := range rows {
+				if pred.EvalBool(r) {
+					out.Add(r)
+				}
+			}
+			return out, nil
+		}
+	}
+	pred, err := expr.Compile(sh.extra, sh.schema)
+	if err != nil {
+		return nil, err
+	}
+	out := rel.NewRelation(sh.schema)
+	for _, r := range t.Scan(sh.st) {
+		if pred.EvalBool(r) {
+			out.Add(r)
 		}
 	}
 	return out, nil
@@ -120,19 +182,23 @@ func evalProject(p *Project, env Env) (*rel.Relation, error) {
 	return out, nil
 }
 
-// probeTarget describes a join input that can be probed through a stored
-// table's secondary index: a Scan, optionally wrapped in Selects, or a
-// stored RelRef. extra is the residual selection predicate to apply to
-// probed rows (over the node's qualified schema).
-type probeTarget struct {
-	table  *rel.Table
-	state  rel.State
+// probeShape is the environment-free description of a plan fragment that
+// can be probed through a stored table's secondary index: a Scan,
+// optionally wrapped in Selects, or a stored RelRef (possibly with renamed
+// attributes). extra conjoins every σ predicate of the chain, over the
+// node's qualified schema. Both the interpreted evaluator (asProbe,
+// evalStoredSelect) and the plan compiler derive their access strategies
+// from this one shape analysis, which is what keeps their access counts
+// identical.
+type probeShape struct {
+	table  string
+	st     rel.State
 	schema rel.Schema // qualified output schema
 	toBare func(string) string
 	extra  expr.Expr
 }
 
-func asProbe(n Node, env Env) (*probeTarget, bool) {
+func shapeOf(n Node) (*probeShape, bool) {
 	var preds []expr.Expr
 	for {
 		sel, ok := n.(*Select)
@@ -144,23 +210,15 @@ func asProbe(n Node, env Env) (*probeTarget, bool) {
 	}
 	switch x := n.(type) {
 	case *Scan:
-		t, err := env.Table(x.Table)
-		if err != nil {
-			return nil, false
-		}
-		return &probeTarget{
-			table:  t,
-			state:  x.St,
+		return &probeShape{
+			table:  x.Table,
+			st:     x.St,
 			schema: x.schema,
 			toBare: x.BareAttr,
 			extra:  expr.And(preds...),
 		}, true
 	case *RelRef:
 		if !x.Stored {
-			return nil, false
-		}
-		t, err := env.Table(x.Name)
-		if err != nil {
 			return nil, false
 		}
 		toBare := func(s string) string { return s }
@@ -176,9 +234,9 @@ func asProbe(n Node, env Env) (*probeTarget, bool) {
 				return s
 			}
 		}
-		return &probeTarget{
-			table:  t,
-			state:  x.St,
+		return &probeShape{
+			table:  x.Name,
+			st:     x.St,
 			schema: x.Sch,
 			toBare: toBare,
 			extra:  expr.And(preds...),
@@ -187,25 +245,72 @@ func asProbe(n Node, env Env) (*probeTarget, bool) {
 	return nil, false
 }
 
+// probeTarget is a probeShape resolved against an environment, with the
+// selection predicate split once: column = literal equalities fold into
+// every index probe (narrowing it to the rows that also satisfy them, for
+// the same single lookup charge), and the residual predicate is compiled
+// once instead of per probe.
+type probeTarget struct {
+	table   *rel.Table
+	state   rel.State
+	schema  rel.Schema // qualified output schema
+	toBare  func(string) string
+	litBare []string // bare names of literal-equality columns, folded into probes
+	litVals []rel.Value
+	pred    *expr.Compiled // residual extra predicate; nil when TRUE
+}
+
+func asProbe(n Node, env Env) (*probeTarget, bool) {
+	sh, ok := shapeOf(n)
+	if !ok {
+		return nil, false
+	}
+	t, err := env.Table(sh.table)
+	if err != nil {
+		return nil, false
+	}
+	litCols, litVals, residual := expr.EqLiterals(sh.extra, sh.schema)
+	var pred *expr.Compiled
+	if !expr.IsTrueLit(residual) {
+		if pred, err = expr.Compile(residual, sh.schema); err != nil {
+			return nil, false
+		}
+	}
+	litBare := make([]string, len(litCols))
+	for i, c := range litCols {
+		litBare[i] = sh.toBare(c)
+	}
+	return &probeTarget{
+		table:   t,
+		state:   sh.st,
+		schema:  sh.schema,
+		toBare:  sh.toBare,
+		litBare: litBare,
+		litVals: litVals,
+		pred:    pred,
+	}, true
+}
+
 func (p *probeTarget) lookup(attrs []string, vals []rel.Value) ([]rel.Tuple, error) {
-	bare := make([]string, len(attrs))
-	for i, a := range attrs {
-		bare[i] = p.toBare(a)
+	bare := make([]string, 0, len(attrs)+len(p.litBare))
+	for _, a := range attrs {
+		bare = append(bare, p.toBare(a))
+	}
+	bare = append(bare, p.litBare...)
+	if len(p.litVals) > 0 {
+		all := make([]rel.Value, 0, len(vals)+len(p.litVals))
+		vals = append(append(all, vals...), p.litVals...)
 	}
 	rows, err := p.table.Lookup(p.state, bare, vals)
 	if err != nil {
 		return nil, err
 	}
-	if expr.IsTrueLit(p.extra) {
+	if p.pred == nil {
 		return rows, nil
-	}
-	pred, err := expr.Compile(p.extra, p.schema)
-	if err != nil {
-		return nil, err
 	}
 	var out []rel.Tuple
 	for _, r := range rows {
-		if pred.EvalBool(r) {
+		if p.pred.EvalBool(r) {
 			out = append(out, r)
 		}
 	}
@@ -345,7 +450,8 @@ func evalJoin(j *Join, env Env) (*rel.Relation, error) {
 		}
 		buckets := make(map[string][]rel.Tuple)
 		for _, rt := range right.Tuples {
-			buckets[rel.KeyOf(rt, ridx)] = append(buckets[rel.KeyOf(rt, ridx)], rt)
+			k := rel.KeyOf(rt, ridx)
+			buckets[k] = append(buckets[k], rt)
 		}
 		out := rel.NewRelation(outSchema)
 		for _, lt := range left.Tuples {
@@ -529,7 +635,8 @@ func evalSemi(n Node, env Env, keepMatching bool) (*rel.Relation, error) {
 		}
 		buckets := make(map[string][]rel.Tuple)
 		for _, rt := range right.Tuples {
-			buckets[rel.KeyOf(rt, ridx)] = append(buckets[rel.KeyOf(rt, ridx)], rt)
+			k := rel.KeyOf(rt, ridx)
+			buckets[k] = append(buckets[k], rt)
 		}
 		for _, lt := range left.Tuples {
 			k := rel.KeyOf(lt, lidx)

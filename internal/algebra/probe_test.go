@@ -1,0 +1,125 @@
+package algebra_test
+
+import (
+	"testing"
+
+	"idivm/internal/algebra"
+	"idivm/internal/db"
+	"idivm/internal/expr"
+	"idivm/internal/rel"
+)
+
+// TestAsProbeSelectWrappedRenamedRef covers the probe-shape analysis on a
+// σ-wrapped stored RelRef with renamed attributes: the σ's literal
+// equality folds into the index probe through the Bare mapping, NULL join
+// keys are skipped without touching the index, and the compiled executor
+// picks the same strategy with byte-identical access counts.
+func TestAsProbeSelectWrappedRenamedRef(t *testing.T) {
+	d := db.New()
+	dev := d.MustCreateTable("dev", rel.NewSchema([]string{"did", "cat"}, []string{"did"}))
+	dev.MustInsert(rel.String("D1"), rel.String("phone"))
+	dev.MustInsert(rel.String("D2"), rel.String("tablet"))
+	dev.MustInsert(rel.String("D3"), rel.Null())
+
+	ref := algebra.NewStoredRef("dev", dev.Schema(), rel.StatePost).Renamed("@r")
+	sel := algebra.NewSelect(ref, expr.Eq(expr.C("cat@r"), expr.StrLit("phone")))
+
+	keySch := rel.NewSchema([]string{"k"}, []string{"k"})
+	diff := rel.NewRelation(keySch)
+	diff.Add(rel.Tuple{rel.String("D1")})
+	diff.Add(rel.Tuple{rel.Null()})       // NULL join key: must be skipped, never probed
+	diff.Add(rel.Tuple{rel.String("D9")}) // probes, matches nothing
+	env := &bindEnv{Database: d, rels: map[string]*rel.Relation{"diff": diff}}
+
+	j := algebra.NewJoin(algebra.NewRelRef("diff", keySch), sel,
+		expr.Eq(expr.C("k"), expr.C("did@r")))
+
+	check := func(path string, got *rel.Relation) {
+		t.Helper()
+		if got.Len() != 1 {
+			t.Fatalf("%s: join len = %d, want 1:\n%v", path, got.Len(), got)
+		}
+		row := got.Tuples[0]
+		if row[0].Text() != "D1" || row[1].Text() != "D1" || row[2].Text() != "phone" {
+			t.Fatalf("%s: row = %v", path, row)
+		}
+	}
+
+	d.Counter().Reset()
+	check("interpreted", eval(t, j, env))
+	c := *d.Counter()
+	// Two non-NULL keys probe the index with the folded cat="phone"
+	// column appended; only the D1 probe matches, so one tuple read. The
+	// NULL key costs nothing — NULL never equals anything, including the
+	// stored NULL in D3's cat.
+	if c.IndexLookups != 2 || c.TupleReads != 1 {
+		t.Fatalf("interpreted probe expected (2 lookups, 1 read), got %v", c)
+	}
+
+	plan, err := algebra.Compile(j)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	d.Counter().Reset()
+	got, err := plan.Run(env)
+	if err != nil {
+		t.Fatalf("compiled run: %v", err)
+	}
+	check("compiled", got)
+	if cc := *d.Counter(); cc != c {
+		t.Fatalf("compiled counters %v != interpreted %v", cc, c)
+	}
+}
+
+// TestAsProbeResidualThroughRenaming adds a non-foldable conjunct: the
+// literal equality still narrows the probe while the residual filters the
+// probed rows, all over the renamed (qualified) schema.
+func TestAsProbeResidualThroughRenaming(t *testing.T) {
+	d := db.New()
+	it := d.MustCreateTable("items", rel.NewSchema([]string{"id", "grp", "qty"}, []string{"id"}))
+	it.MustInsert(rel.Int(1), rel.String("a"), rel.Int(5))
+	it.MustInsert(rel.Int(2), rel.String("a"), rel.Int(50))
+	it.MustInsert(rel.Int(3), rel.String("b"), rel.Int(50))
+
+	ref := algebra.NewStoredRef("items", it.Schema(), rel.StatePost).Renamed("@x")
+	sel := algebra.NewSelect(ref, expr.And(
+		expr.Eq(expr.C("grp@x"), expr.StrLit("a")),
+		expr.Lt(expr.C("qty@x"), expr.IntLit(10)),
+	))
+
+	keySch := rel.NewSchema([]string{"g"}, []string{"g"})
+	diff := rel.NewRelation(keySch)
+	diff.Add(rel.Tuple{rel.String("a")})
+	env := &bindEnv{Database: d, rels: map[string]*rel.Relation{"diff": diff}}
+
+	j := algebra.NewJoin(algebra.NewRelRef("diff", keySch), sel,
+		expr.Eq(expr.C("g"), expr.C("grp@x")))
+
+	d.Counter().Reset()
+	got := eval(t, j, env)
+	if got.Len() != 1 || got.Tuples[0][1].AsInt() != 1 {
+		t.Fatalf("join = %v", got)
+	}
+	c := *d.Counter()
+	// One probe on (grp, grp) — the join column and the folded literal
+	// coincide here — reading the two grp=a rows; qty<10 filters after.
+	if c.IndexLookups != 1 || c.TupleReads != 2 {
+		t.Fatalf("expected (1 lookup, 2 reads), got %v", c)
+	}
+
+	plan, err := algebra.Compile(j)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	d.Counter().Reset()
+	cr, err := plan.Run(env)
+	if err != nil {
+		t.Fatalf("compiled run: %v", err)
+	}
+	if cr.Len() != 1 || cr.Tuples[0][1].AsInt() != 1 {
+		t.Fatalf("compiled join = %v", cr)
+	}
+	if cc := *d.Counter(); cc != c {
+		t.Fatalf("compiled counters %v != interpreted %v", cc, c)
+	}
+}

@@ -193,6 +193,35 @@ func Conjuncts(e Expr) []Expr {
 	return []Expr{e}
 }
 
+// EqLiterals splits e's conjuncts into column = literal equalities whose
+// column resolves in schema and whose literal is non-NULL, plus the
+// residual predicate (TRUE when none remains). The extracted pairs can run
+// as secondary-index probes: rel.Value key encoding is injective and agrees
+// with Compare on non-NULL values, so an index probe returns exactly the
+// rows the equality accepts. NULL literals stay in the residual — SQL's
+// col = NULL is always false, while an index probe on the encoded NULL
+// would wrongly match stored NULLs.
+func EqLiterals(e Expr, schema rel.Schema) (cols []string, vals []rel.Value, residual Expr) {
+	var rest []Expr
+	for _, c := range Conjuncts(e) {
+		if cmp, ok := c.(Cmp); ok && cmp.Op == EQ {
+			col, colOK := cmp.L.(Col)
+			lit, litOK := cmp.R.(Lit)
+			if !colOK || !litOK {
+				col, colOK = cmp.R.(Col)
+				lit, litOK = cmp.L.(Lit)
+			}
+			if colOK && litOK && schema.Has(col.Name) && !lit.Val.IsNull() {
+				cols = append(cols, col.Name)
+				vals = append(vals, lit.Val)
+				continue
+			}
+		}
+		rest = append(rest, c)
+	}
+	return cols, vals, And(rest...)
+}
+
 // EquiPairs extracts the equality pairs (leftCol, rightCol) from the
 // conjuncts of a join predicate whose sides resolve to the given schemas,
 // plus the residual non-equi predicate (TRUE when none). This drives

@@ -1,0 +1,177 @@
+package ivm_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"idivm/internal/db"
+	"idivm/internal/ivm"
+	"idivm/internal/rel"
+)
+
+// samePhases compares everything deterministic about two maintenance
+// reports: phase-level access counts, the per-step cost breakdown, and the
+// diff-tuple counts. Wall times are excluded.
+func samePhases(t *testing.T, label string, a, b *ivm.Report) {
+	t.Helper()
+	if a.DiffTuples != b.DiffTuples {
+		t.Fatalf("%s: DiffTuples %d != %d", label, a.DiffTuples, b.DiffTuples)
+	}
+	if a.Phases.Cost != b.Phases.Cost {
+		t.Fatalf("%s: phase costs differ:\n compiled   %v\n interpreted %v",
+			label, a.Phases.Cost, b.Phases.Cost)
+	}
+	if a.Phases.RowsTouched != b.Phases.RowsTouched ||
+		a.Phases.ViewDiffTuples != b.Phases.ViewDiffTuples ||
+		a.Phases.ViewRowsTouched != b.Phases.ViewRowsTouched {
+		t.Fatalf("%s: apply stats differ: (%d,%d,%d) != (%d,%d,%d)", label,
+			a.Phases.RowsTouched, a.Phases.ViewDiffTuples, a.Phases.ViewRowsTouched,
+			b.Phases.RowsTouched, b.Phases.ViewDiffTuples, b.Phases.ViewRowsTouched)
+	}
+	if len(a.Phases.Steps) != len(b.Phases.Steps) {
+		t.Fatalf("%s: step counts %d != %d", label, len(a.Phases.Steps), len(b.Phases.Steps))
+	}
+	for i := range a.Phases.Steps {
+		sa, sb := a.Phases.Steps[i], b.Phases.Steps[i]
+		if sa.Step != sb.Step || sa.Cost != sb.Cost {
+			t.Fatalf("%s: step %d: compiled %s %v != interpreted %s %v",
+				label, i, sa.Step, sa.Cost, sb.Step, sb.Cost)
+		}
+	}
+}
+
+func viewState(t *testing.T, d *db.Database, name string) *rel.Relation {
+	t.Helper()
+	tb, err := d.Table(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb.Relation(rel.StatePost)
+}
+
+// TestCompiledMatchesInterpretedDifferential is the differential net over
+// the compile-once executor: every seeded random plan runs through the
+// compiled path (the registration default) and the interpreted oracle
+// (System.Interpret) on identical twin databases fed identical
+// modification streams. Final view state, per-step reports and the
+// database access counters must be byte-identical every round — the
+// counter-parity invariant of DESIGN.md §8.
+func TestCompiledMatchesInterpretedDifferential(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 8
+	}
+	for _, mode := range []ivm.Mode{ivm.ModeID, ivm.ModeTuple} {
+		t.Run(mode.String(), func(t *testing.T) {
+			for trial := 0; trial < trials; trial++ {
+				seed := int64(7000 + trial)
+				dC, dI := fig2DB(t), fig2DB(t)
+				// One plan, generated against dC's schemas; the twin holds
+				// identical tables, so the plan is valid for both.
+				g := &planGen{rng: rand.New(rand.NewSource(seed)), d: dC}
+				plan := g.gen()
+
+				sysC := ivm.NewSystem(dC) // compiled path (default)
+				sysI := ivm.NewSystem(dI)
+				sysI.Interpret = true // interpreted oracle
+				if _, err := sysC.RegisterView("V", plan, mode); err != nil {
+					t.Fatalf("trial %d: register compiled: %v\nplan: %s", trial, err, plan)
+				}
+				if _, err := sysI.RegisterView("V", plan, mode); err != nil {
+					t.Fatalf("trial %d: register interpreted: %v\nplan: %s", trial, err, plan)
+				}
+
+				// Twin rngs with one seed: identical databases see identical
+				// modification streams.
+				rngC := rand.New(rand.NewSource(seed * 31))
+				rngI := rand.New(rand.NewSource(seed * 31))
+				nextC, nextI := 50, 50
+				for round := 0; round < 5; round++ {
+					randomMods(dC, rngC, &nextC)
+					randomMods(dI, rngI, &nextI)
+
+					dC.Counter().Reset()
+					dI.Counter().Reset()
+					repC, err := sysC.MaintainAll()
+					if err != nil {
+						t.Fatalf("trial %d round %d: compiled: %v\nplan: %s", trial, round, err, plan)
+					}
+					repI, err := sysI.MaintainAll()
+					if err != nil {
+						t.Fatalf("trial %d round %d: interpreted: %v\nplan: %s", trial, round, err, plan)
+					}
+					label := mode.String()
+					if len(repC) != 1 || len(repI) != 1 {
+						t.Fatalf("%s trial %d round %d: report counts %d/%d", label, trial, round, len(repC), len(repI))
+					}
+					samePhases(t, label, repC[0], repI[0])
+					if cc, ci := *dC.Counter(), *dI.Counter(); cc != ci {
+						t.Fatalf("%s trial %d round %d: counters differ:\n compiled    %v\n interpreted %v\nplan: %s",
+							label, trial, round, cc, ci, plan)
+					}
+					vc, vi := viewState(t, dC, "V"), viewState(t, dI, "V")
+					if !vc.EqualSet(vi) {
+						t.Fatalf("%s trial %d round %d: view states diverge:\n compiled:\n%v\n interpreted:\n%v\nplan: %s",
+							label, trial, round, vc.Sorted(), vi.Sorted(), plan)
+					}
+					if err := sysC.CheckConsistent("V"); err != nil {
+						t.Fatalf("%s trial %d round %d: %v\nplan: %s", label, trial, round, err, plan)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledParallelCounterParity pins the DAG executor on the compiled
+// path: a Workers>1 run of the same random plans must report the exact
+// sequential access counts (each step charges a private shard, merged in
+// order), and the same final state.
+func TestCompiledParallelCounterParity(t *testing.T) {
+	trials := 30
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(9000 + trial)
+		dS, dP := fig2DB(t), fig2DB(t)
+		g := &planGen{rng: rand.New(rand.NewSource(seed)), d: dS}
+		plan := g.gen()
+
+		sysS := ivm.NewSystem(dS)
+		sysP := ivm.NewSystem(dP)
+		sysP.Workers = 4
+		if _, err := sysS.RegisterView("V", plan, ivm.ModeID); err != nil {
+			t.Fatalf("trial %d: %v\nplan: %s", trial, err, plan)
+		}
+		if _, err := sysP.RegisterView("V", plan, ivm.ModeID); err != nil {
+			t.Fatalf("trial %d: %v\nplan: %s", trial, err, plan)
+		}
+
+		rngS := rand.New(rand.NewSource(seed * 17))
+		rngP := rand.New(rand.NewSource(seed * 17))
+		nextS, nextP := 50, 50
+		for round := 0; round < 4; round++ {
+			randomMods(dS, rngS, &nextS)
+			randomMods(dP, rngP, &nextP)
+			dS.Counter().Reset()
+			dP.Counter().Reset()
+			repS, err := sysS.MaintainAll()
+			if err != nil {
+				t.Fatalf("trial %d round %d: sequential: %v\nplan: %s", trial, round, err, plan)
+			}
+			repP, err := sysP.MaintainAll()
+			if err != nil {
+				t.Fatalf("trial %d round %d: parallel: %v\nplan: %s", trial, round, err, plan)
+			}
+			samePhases(t, "parallel-vs-seq", repS[0], repP[0])
+			if cs, cp := *dS.Counter(), *dP.Counter(); cs != cp {
+				t.Fatalf("trial %d round %d: counters differ:\n sequential %v\n parallel   %v\nplan: %s",
+					trial, round, cs, cp, plan)
+			}
+			if !viewState(t, dS, "V").EqualSet(viewState(t, dP, "V")) {
+				t.Fatalf("trial %d round %d: states diverge\nplan: %s", trial, round, plan)
+			}
+		}
+	}
+}

@@ -66,6 +66,10 @@ type ExecOptions struct {
 	// shard per view so concurrent maintenance runs never write one
 	// counter; callers merge the shard back via db.Database.MergeCounter.
 	Counter *rel.CostCounter
+	// Interpret forces compute steps through the interpreted algebra.Eval
+	// path even when a compiled plan is cached — the reference-oracle mode
+	// the differential tests compare the compiled executor against.
+	Interpret bool
 }
 
 // scriptExec is the shared state of one script execution: the database,
@@ -73,8 +77,9 @@ type ExecOptions struct {
 // binding map is guarded for concurrent step execution; everything else is
 // read-only during the run.
 type scriptExec struct {
-	d *db.Database
-	s *Script
+	d         *db.Database
+	s         *Script
+	interpret bool
 
 	mu   sync.RWMutex
 	bind map[string]*rel.Relation
@@ -121,8 +126,9 @@ func (e *stepEnv) Rel(name string) (*rel.Relation, error) {
 // RunScript executes a Δ-script against the database: base diff instances
 // are passed as bindings keyed by BaseBindName; the script's compute steps
 // evaluate plans and bind results; apply steps mutate caches and the view.
-// The view and caches are placed in a maintenance epoch for the duration,
-// so plans may reference their pre-state at any point.
+// Every view/cache table whose pre-state some step reads is placed in a
+// maintenance epoch for the duration, so those plans may reference the
+// pre-state at any point; tables nobody pre-reads skip the snapshot.
 func RunScript(d *db.Database, s *Script, bindings map[string]*rel.Relation) (*PhaseCosts, error) {
 	return runScript(d, s, bindings, false, ExecOptions{})
 }
@@ -147,24 +153,32 @@ func runScript(d *db.Database, s *Script, bindings map[string]*rel.Relation, ver
 	if root == nil {
 		root = d.Counter()
 	}
-	x := &scriptExec{d: d, s: s, bind: make(map[string]*rel.Relation, len(bindings)+8)}
+	x := &scriptExec{d: d, s: s, interpret: opts.Interpret, bind: make(map[string]*rel.Relation, len(bindings)+8)}
 	for k, v := range bindings { //ivmlint:allow maprange — map-to-map copy, order-free
 		x.bind[k] = v
 	}
-	// Open epochs on the view and every cache.
+	// Open epochs on the view and caches — but only the ones some step
+	// actually reads in pre-state (computed once per script): the epoch
+	// snapshot is O(rows), and a table whose pre-state nobody reads gets
+	// nothing from it. Counters are unaffected — snapshots are uncharged.
 	epochTables := []string{s.View}
 	for _, c := range s.Caches {
 		epochTables = append(epochTables, c.Name)
 	}
+	preRead := s.preReadTables()
+	opened := make([]string, 0, len(epochTables))
 	for _, name := range epochTables {
 		t, err := d.Table(name)
 		if err != nil {
 			return nil, fmt.Errorf("ivm: script target %q not materialized: %w", name, err)
 		}
-		t.BeginEpoch()
+		if preRead[name] {
+			t.BeginEpoch()
+			opened = append(opened, name)
+		}
 	}
 	defer func() {
-		for _, name := range epochTables {
+		for _, name := range opened {
 			if t, err := d.Table(name); err == nil {
 				t.EndEpoch()
 			}
@@ -249,7 +263,16 @@ func (x *scriptExec) runStep(i int, counter *rel.CostCounter) stepResult {
 	start := time.Now()
 	switch st := x.s.Steps[i].(type) {
 	case *ComputeStep:
-		r, err := algebra.Eval(st.Plan, env)
+		// The compiled plan cached at registration time is the hot path;
+		// interpreted Eval remains the oracle (and the fallback for scripts
+		// that were never compiled).
+		var r *rel.Relation
+		var err error
+		if st.compiled != nil && !x.interpret {
+			r, err = st.compiled.Run(env)
+		} else {
+			r, err = algebra.Eval(st.Plan, env)
+		}
 		if err != nil {
 			res.err = fmt.Errorf("ivm: step %s: %w", st.Name, err)
 			return res

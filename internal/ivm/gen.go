@@ -2,6 +2,7 @@ package ivm
 
 import (
 	"fmt"
+	"sync"
 
 	"idivm/internal/algebra"
 	"idivm/internal/rel"
@@ -46,6 +47,12 @@ type ComputeStep struct {
 	Diff *DiffSchema
 	Plan algebra.Node
 	Ph   Phase
+
+	// compiled is the step's cached executable plan, built once by
+	// CompileScript (RegisterView calls it after verification). The
+	// executor runs it when present; a nil value falls back to the
+	// interpreted algebra.Eval path.
+	compiled *algebra.ExecPlan
 }
 
 // Phase implements Step.
@@ -97,6 +104,64 @@ type Script struct {
 	// Minimized records whether pass 4 (Minimize) ran on this script; the
 	// verifier only enforces the Figure 8 residue checks when it did.
 	Minimized bool
+
+	// preRead memoizes which stored tables some step plan reads in
+	// pre-state. The executor opens a maintenance epoch only on the
+	// view/cache tables in this set: an epoch exists solely to freeze the
+	// pre-state for readers, and snapshotting a table nobody pre-reads is
+	// pure overhead on every round. Scripts are immutable after
+	// generation, so computing this once is safe.
+	preReadOnce sync.Once
+	preRead     map[string]bool
+}
+
+// preReadTables returns the set of stored tables some compute step reads
+// in StatePre, computed once per script.
+func (s *Script) preReadTables() map[string]bool {
+	s.preReadOnce.Do(func() {
+		m := make(map[string]bool)
+		for _, st := range s.Steps {
+			cs, ok := st.(*ComputeStep)
+			if !ok {
+				continue
+			}
+			algebra.Walk(cs.Plan, func(n algebra.Node) {
+				switch x := n.(type) {
+				case *algebra.RelRef:
+					if x.Stored && x.St == rel.StatePre {
+						m[x.Name] = true
+					}
+				case *algebra.Scan:
+					if x.St == rel.StatePre {
+						m[x.Table] = true
+					}
+				}
+			})
+		}
+		s.preRead = m
+	})
+	return s.preRead
+}
+
+// CompileScript builds and caches one executable plan per compute step —
+// the compile-once contract: column positions, predicate bindings, equi
+// pairs and probe strategies are resolved here, at registration time, and
+// every maintenance round reuses them. Apply steps have no plan and are
+// unaffected. Calling it again recompiles (scripts are never mutated after
+// generation, so this is only useful for tests).
+func CompileScript(s *Script) error {
+	for _, st := range s.Steps {
+		cs, ok := st.(*ComputeStep)
+		if !ok {
+			continue
+		}
+		p, err := algebra.Compile(cs.Plan)
+		if err != nil {
+			return fmt.Errorf("ivm: compiling step %s: %w", cs.Name, err)
+		}
+		cs.compiled = p
+	}
+	return nil
 }
 
 // String renders the script for inspection.

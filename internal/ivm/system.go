@@ -64,6 +64,10 @@ type System struct {
 	// shard). Final view state and total access counts are identical to
 	// the sequential run.
 	Workers int
+	// Interpret forces every maintenance round through the interpreted
+	// evaluator instead of the compiled plans cached at registration —
+	// the reference oracle the differential tests compare against.
+	Interpret bool
 }
 
 // NewSystem creates an idIVM system over a database.
@@ -97,6 +101,12 @@ func (s *System) RegisterView(name string, plan algebra.Node, mode Mode, opts ..
 	// The static gate: a script that fails verification never reaches
 	// materialization or the executor.
 	if err := Verify(script); err != nil {
+		return nil, err
+	}
+	// Compile once, run every round: each compute step caches its
+	// executable plan here, so maintenance never re-resolves columns,
+	// predicates or probe strategies.
+	if err := CompileScript(script); err != nil {
 		return nil, err
 	}
 
@@ -200,7 +210,7 @@ func (s *System) GenerateInstances(v *View) (map[string]*rel.Relation, int, erro
 // MaintainAll) once every view is maintained. With Workers > 1 the view's
 // Δ-script runs on the step-DAG scheduler.
 func (s *System) Maintain(name string) (*Report, error) {
-	return s.maintain(name, ExecOptions{Workers: s.Workers})
+	return s.maintain(name, ExecOptions{Workers: s.Workers, Interpret: s.Interpret})
 }
 
 func (s *System) maintain(name string, opts ExecOptions) (*Report, error) {
@@ -254,7 +264,7 @@ func (s *System) maintainAllParallel() ([]*Report, error) {
 	errs := make([]error, n)
 	shards := make([]rel.CostCounter, n)
 	parallelFor(s.Workers, n, func(i int) {
-		reports[i], errs[i] = s.maintain(s.order[i], ExecOptions{Workers: s.Workers, Counter: &shards[i]})
+		reports[i], errs[i] = s.maintain(s.order[i], ExecOptions{Workers: s.Workers, Counter: &shards[i], Interpret: s.Interpret})
 	})
 	for i := range shards {
 		s.DB.MergeCounter(shards[i])

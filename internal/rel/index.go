@@ -21,9 +21,8 @@ func buildHashIndex(rows []Tuple, attrIdx []int) *hashIndex {
 }
 
 func (h *hashIndex) get(vals []Value) []int {
-	kt := make(Tuple, len(vals))
-	copy(kt, vals)
-	return h.buckets[TupleKey(kt)]
+	var buf [64]byte
+	return h.buckets[string(AppendTupleKey(buf[:0], vals))]
 }
 
 // add registers a row at position pos.
@@ -86,11 +85,13 @@ func indexSig(attrs []string) string { return strings.Join(attrs, "\x00") }
 // write lock, which already excludes readers, but take idxMu anyway to
 // keep the cache-map discipline uniform.
 func (c *tableCore) indexOn(s State, attrs []string) (*hashIndex, error) {
-	idx, err := c.schema.Indices(attrs)
-	if err != nil {
-		return nil, err
-	}
-	sig := indexSig(attrs)
+	return c.indexOnSig(s, attrs, indexSig(attrs))
+}
+
+// indexOnSig is indexOn with the signature precomputed by the caller, so
+// prepared probes (Table.LookupInto) skip the per-call strings.Join. Column
+// resolution only runs on a cache miss: a hit is a map lookup.
+func (c *tableCore) indexOnSig(s State, attrs []string, sig string) (*hashIndex, error) {
 	var cache map[string]*hashIndex
 	var rows []Tuple
 	if s == StatePre && c.inEpoch {
@@ -110,6 +111,10 @@ func (c *tableCore) indexOn(s State, attrs []string) (*hashIndex, error) {
 	defer c.idxMu.Unlock()
 	if h, ok := cache[sig]; ok {
 		return h, nil
+	}
+	idx, err := c.schema.Indices(attrs)
+	if err != nil {
+		return nil, err
 	}
 	h := buildHashIndex(rows, idx)
 	cache[sig] = h

@@ -57,20 +57,31 @@ func (r *Relation) Project(attrs []string) (*Relation, error) {
 
 // KeyOf encodes the values at the given positions into a hashable string.
 func KeyOf(t Tuple, idx []int) string {
-	var b []byte
-	for _, i := range idx {
-		b = t[i].EncodeKey(b)
-	}
-	return string(b)
+	return string(AppendKey(nil, t, idx))
 }
 
 // TupleKey encodes a whole tuple into a hashable string.
 func TupleKey(t Tuple) string {
-	var b []byte
+	return string(AppendTupleKey(nil, t))
+}
+
+// AppendKey appends the encoding of the values at the given positions to b,
+// returning the extended buffer. Hot probe loops reuse one buffer across
+// tuples (b[:0]) and look maps up via string(b), which Go evaluates without
+// allocating.
+func AppendKey(b []byte, t Tuple, idx []int) []byte {
+	for _, i := range idx {
+		b = t[i].EncodeKey(b)
+	}
+	return b
+}
+
+// AppendTupleKey appends the encoding of a whole tuple to b.
+func AppendTupleKey(b []byte, t Tuple) []byte {
 	for _, v := range t {
 		b = v.EncodeKey(b)
 	}
-	return string(b)
+	return b
 }
 
 // SortTuples sorts tuples lexicographically (by SortCompare) for

@@ -236,6 +236,63 @@ func (t *Table) Lookup(s State, attrs []string, vals []Value) ([]Tuple, error) {
 	return out, nil
 }
 
+// PrepLookup is a reusable secondary-index probe specification: the
+// attribute list together with its precomputed index signature. Preparing
+// it once hoists the per-call signature work out of probe loops.
+type PrepLookup struct {
+	attrs []string
+	sig   string
+}
+
+// PrepareLookup builds a prepared probe over the named attributes.
+func PrepareLookup(attrs []string) PrepLookup {
+	return PrepLookup{attrs: append([]string(nil), attrs...), sig: indexSig(attrs)}
+}
+
+// Attrs returns the probe's attribute list.
+func (p PrepLookup) Attrs() []string { return p.attrs }
+
+// LookupInto is Lookup through a prepared probe, appending the matches to
+// out (reusing its capacity) instead of allocating a result slice. The
+// charge is identical to Lookup's: one index lookup plus one tuple read per
+// match. keyBuf is an optional scratch buffer for the probe key encoding;
+// the (possibly grown) buffer is returned for reuse.
+func (t *Table) LookupInto(s State, pl PrepLookup, vals []Value, keyBuf []byte, out []Tuple) ([]Tuple, []byte, error) {
+	keyBuf = AppendTupleKey(keyBuf[:0], vals)
+	t.core.mu.RLock()
+	idx, err := t.core.indexOnSig(s, pl.attrs, pl.sig)
+	if err != nil {
+		t.core.mu.RUnlock()
+		return out, keyBuf, err
+	}
+	rows, _ := t.core.stateRows(s)
+	positions := idx.buckets[string(keyBuf)]
+	for _, p := range positions {
+		out = append(out, rows[p])
+	}
+	t.core.mu.RUnlock()
+	t.charge(int64(len(positions)), 1, 0)
+	return out, keyBuf, nil
+}
+
+// IndexCard reports (p, n): how many rows of the requested state match vals
+// on the secondary index over attrs, and the state's total row count.
+// Nothing is charged — this is catalog metadata, the cardinality a planner
+// consults when choosing between an index probe (1 lookup + p reads) and a
+// full scan (n reads). The paper's cost model already assumes the needed
+// indexes exist; consulting their statistics is part of planning, not of
+// data access.
+func (t *Table) IndexCard(s State, attrs []string, vals []Value) (p, n int, err error) {
+	t.core.mu.RLock()
+	defer t.core.mu.RUnlock()
+	idx, err := t.core.indexOn(s, attrs)
+	if err != nil {
+		return 0, 0, err
+	}
+	rows, _ := t.core.stateRows(s)
+	return len(idx.get(vals)), len(rows), nil
+}
+
 // Insert adds a row, failing on a primary-key conflict. One tuple write is
 // charged.
 func (t *Table) Insert(row Tuple) error {
