@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race lint bench-smoke
+.PHONY: check build vet test race race-sharded lint bench-smoke
 
 # check is the full local gate, identical to CI: build, vet, race-enabled
-# tests, and the repository linter. Any lint finding fails the build.
-check: build vet race lint
+# tests on both storage engines, and the repository linter. Any lint
+# finding fails the build.
+check: build vet race race-sharded lint
 
 build:
 	$(GO) build ./...
@@ -17,6 +18,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-sharded re-runs the internal suites on the hash-partitioned storage
+# engine. bench-smoke deliberately stays on the default engine so
+# accesses/op stay comparable to testdata/bench_baseline.json.
+race-sharded:
+	IDIVM_ENGINE=sharded $(GO) test -race ./internal/...
 
 lint:
 	$(GO) run ./cmd/ivmlint ./...

@@ -21,7 +21,7 @@ func loadFixture(t *testing.T) []finding {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return lintPackage(pkg, ruleSet{MapRange: true, DeepEqual: true, BindName: true, GoStmt: true})
+	return lintPackage(pkg, ruleSet{MapRange: true, DeepEqual: true, BindName: true, GoStmt: true, TableType: true})
 }
 
 // ruleCount tallies findings per rule.
@@ -47,6 +47,9 @@ func TestFixtureSeededRegressionsFlagged(t *testing.T) {
 	}
 	if counts["gostmt"] != 1 {
 		t.Errorf("gostmt findings = %d, want exactly the naked goroutine: %v", counts["gostmt"], fs)
+	}
+	if counts["tabletype"] != 2 {
+		t.Errorf("tabletype findings = %d, want the construction and the assertion: %v", counts["tabletype"], fs)
 	}
 	// Every finding must carry a real position, and none may come from the
 	// fixture's sched.go — goroutines there are the blessed-file exemption.
@@ -129,12 +132,13 @@ func TestRulesFor(t *testing.T) {
 		path string
 		want ruleSet
 	}{
-		{"idivm/internal/ivm", ruleSet{MapRange: true, DeepEqual: true, BindName: true, GoStmt: true}},
-		{"idivm/internal/algebra", ruleSet{MapRange: true, BindName: true}},
-		{"idivm/internal/sqlview", ruleSet{MapRange: true, BindName: true}},
+		{"idivm/internal/ivm", ruleSet{MapRange: true, DeepEqual: true, BindName: true, GoStmt: true, TableType: true}},
+		{"idivm/internal/algebra", ruleSet{MapRange: true, BindName: true, TableType: true}},
+		{"idivm/internal/sqlview", ruleSet{MapRange: true, BindName: true, TableType: true}},
 		{"idivm/internal/rel", ruleSet{DeepEqual: true, BindName: true}},
-		{"idivm/internal/db", ruleSet{BindName: true}},
-		{"idivm/cmd/ivmlint", ruleSet{BindName: true}},
+		{"idivm/internal/storage", ruleSet{BindName: true}},
+		{"idivm/internal/db", ruleSet{BindName: true, TableType: true}},
+		{"idivm/cmd/ivmlint", ruleSet{BindName: true, TableType: true}},
 	}
 	for _, c := range cases {
 		if got := rulesFor("idivm", c.path); got != c.want {

@@ -13,7 +13,11 @@
 //     names outside the blessed constructors (BaseBindName, freshCache);
 //   - gostmt — naked `go` statements in internal/ivm outside the blessed
 //     scheduler file (sched.go): maintenance concurrency must flow through
-//     the bounded worker pool.
+//     the bounded worker pool;
+//   - tabletype — references to the concrete table type (rel.Table,
+//     rel.NewTable, rel.MustNewTable) outside internal/rel and
+//     internal/storage: everything above the storage boundary must reach
+//     tables through storage.Engine / storage.Handle.
 //
 // Usage:
 //

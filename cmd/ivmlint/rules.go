@@ -43,6 +43,26 @@ type ruleSet struct {
 	// bounded, counter shards stay attributed, and shutdown stays in one
 	// place. Suppress a deliberate launch with `//ivmlint:allow gostmt`.
 	GoStmt bool
+	// TableType flags references to the concrete table type — rel.Table
+	// and its constructors — outside internal/rel and internal/storage.
+	// Everything above the storage boundary must reach tables through
+	// storage.Engine / storage.Handle so backends stay swappable and every
+	// access is cost-counted; constructing or type-asserting the concrete
+	// type punches through that boundary. Suppress a deliberate escape
+	// with `//ivmlint:allow tabletype`.
+	TableType bool
+}
+
+// relPkgPath is the package owning the concrete table implementation; only
+// it and the storage boundary package may name these identifiers.
+const relPkgPath = "idivm/internal/rel"
+
+// tableTypeForbidden are the rel identifiers that expose the concrete
+// table: the type itself and both constructors.
+var tableTypeForbidden = map[string]bool{
+	"Table":        true,
+	"NewTable":     true,
+	"MustNewTable": true,
 }
 
 // goStmtExemptFile is the one file per linted package allowed to launch
@@ -73,6 +93,9 @@ func lintPackage(p *pkgInfo, rules ruleSet) []finding {
 		}
 		if rules.GoStmt {
 			out = append(out, checkGoStmt(p, f, allowed)...)
+		}
+		if rules.TableType {
+			out = append(out, checkTableType(p, f, allowed)...)
 		}
 	}
 	return out
@@ -227,10 +250,44 @@ func checkGoStmt(p *pkgInfo, f *ast.File, allowed map[string]map[int]bool) []fin
 	return out
 }
 
+// checkTableType flags qualified references to the concrete table type or
+// its constructors (rel.Table, rel.NewTable, rel.MustNewTable) — type
+// assertions, composite literals, conversions and calls all surface as the
+// same selector node, so one check covers every way of punching through
+// the storage boundary.
+func checkTableType(p *pkgInfo, f *ast.File, allowed map[string]map[int]bool) []finding {
+	var out []finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !tableTypeForbidden[sel.Sel.Name] {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Info.Uses[id].(*types.PkgName)
+		if !ok || pn.Imported().Path() != relPkgPath {
+			return true
+		}
+		pos := p.Fset.Position(sel.Pos())
+		if suppressed(allowed, "tabletype", pos.Line) {
+			return true
+		}
+		out = append(out, finding{Pos: pos, Rule: "tabletype",
+			Msg: fmt.Sprintf("concrete table reference rel.%s outside the storage boundary; "+
+				"go through storage.Engine / storage.Handle "+
+				"(or annotate with //ivmlint:allow tabletype)", sel.Sel.Name)})
+		return true
+	})
+	return out
+}
+
 // rulesFor derives the rule set applicable to an import path: determinism
 // rules for the script-generation packages, hot-path rules for the
 // executor and relation layers, concurrency discipline for the executor,
-// naming discipline everywhere.
+// naming discipline everywhere, and the storage-boundary rule everywhere
+// except the two packages that legitimately own the concrete table type.
 func rulesFor(mod, importPath string) ruleSet {
 	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, mod), "/")
 	return ruleSet{
@@ -239,5 +296,7 @@ func rulesFor(mod, importPath string) ruleSet {
 			strings.HasPrefix(rel, "internal/ivm/") || strings.HasPrefix(rel, "internal/rel/"),
 		BindName: true,
 		GoStmt:   rel == "internal/ivm" || strings.HasPrefix(rel, "internal/ivm/"),
+		TableType: !(rel == "internal/rel" || strings.HasPrefix(rel, "internal/rel/") ||
+			rel == "internal/storage" || strings.HasPrefix(rel, "internal/storage/")),
 	}
 }

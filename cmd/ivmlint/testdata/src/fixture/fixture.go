@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+
+	"idivm/internal/rel"
 )
 
 // UnsortedRange iterates a map directly — the canonical nondeterminism bug
@@ -78,4 +80,24 @@ func NakedGoroutine(ch chan int) {
 func SuppressedGoroutine(ch chan int) {
 	//ivmlint:allow gostmt
 	go func() { ch <- 2 }()
+}
+
+// DirectTableConstruction builds the concrete table instead of asking a
+// storage.Engine for one. Expected finding: tabletype.
+func DirectTableConstruction() any {
+	return rel.MustNewTable("rogue", rel.NewSchema([]string{"k"}, []string{"k"}))
+}
+
+// ConcreteTableAssertion peeks behind the storage boundary by asserting
+// down to the concrete type. Expected finding: tabletype.
+func ConcreteTableAssertion(v any) bool {
+	_, ok := v.(*rel.Table)
+	return ok
+}
+
+// SuppressedTableEscape exercises the tabletype annotation escape hatch;
+// the schema constructor alone is always legal.
+func SuppressedTableEscape() any {
+	//ivmlint:allow tabletype
+	return rel.MustNewTable("blessed", rel.NewSchema([]string{"k"}, []string{"k"}))
 }

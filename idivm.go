@@ -26,6 +26,7 @@ import (
 	"idivm/internal/ivm"
 	"idivm/internal/rel"
 	"idivm/internal/sqlview"
+	"idivm/internal/storage"
 )
 
 // Mode selects the diff propagation strategy for a view.
@@ -44,9 +45,36 @@ type DB struct {
 	sys *ivm.System
 }
 
+// Engine selects the storage backend of a database; see MemEngine and
+// ShardedEngine.
+type Engine = storage.Engine
+
+// MemEngine returns the default single-partition in-memory backend.
+func MemEngine() Engine { return storage.NewMem() }
+
+// ShardedEngine returns a hash-partitioned in-memory backend that splits
+// every table into n key-partitioned shards. State, query results and
+// access counts are identical to the default engine; the partitioning is
+// the substrate for per-shard parallel apply.
+func ShardedEngine(n int) Engine { return storage.NewSharded(n) }
+
+// Option configures Open.
+type Option func(*openConfig)
+
+type openConfig struct {
+	engine Engine
+}
+
+// WithEngine selects the storage backend (default MemEngine()).
+func WithEngine(e Engine) Option { return func(c *openConfig) { c.engine = e } }
+
 // Open creates an empty database.
-func Open() *DB {
-	d := db.New()
+func Open(opts ...Option) *DB {
+	cfg := openConfig{engine: storage.NewMem()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d := db.NewWith(cfg.engine)
 	return &DB{d: d, sys: ivm.NewSystem(d)}
 }
 

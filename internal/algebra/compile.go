@@ -24,6 +24,7 @@ import (
 
 	"idivm/internal/expr"
 	"idivm/internal/rel"
+	"idivm/internal/storage"
 )
 
 // ExecPlan is a compiled plan. Run evaluates it against an environment,
@@ -352,11 +353,11 @@ func compileProbe(sh *probeShape, joinCols []string) (*cProbe, error) {
 	return p, nil
 }
 
-func (p *cProbe) resolve(env Env) (*rel.Table, error) { return env.Table(p.table) }
+func (p *cProbe) resolve(env Env) (*storage.Handle, error) { return env.Table(p.table) }
 
 // lookup probes the resolved table with the join values previously written
 // into valsBuf[:nJoin]. The returned slice is valid until the next lookup.
-func (p *cProbe) lookup(t *rel.Table) ([]rel.Tuple, error) {
+func (p *cProbe) lookup(t *storage.Handle) ([]rel.Tuple, error) {
 	rows, keyBuf, err := t.LookupInto(p.st, p.prep, p.valsBuf, p.keyBuf, p.rowsBuf[:0])
 	p.keyBuf = keyBuf
 	p.rowsBuf = rows[:0]

@@ -5,14 +5,18 @@ import (
 
 	"idivm/internal/expr"
 	"idivm/internal/rel"
+	"idivm/internal/storage"
 )
 
 // Env resolves the leaves of a plan during evaluation: stored tables
 // (base tables, materialized views, caches) and named in-memory relations
-// (diff instances and other intermediate bindings).
+// (diff instances and other intermediate bindings). Stored tables resolve
+// to counting handles over the storage engine — the concrete *Handle
+// rather than the storage.Table interface, because the executor rebinds
+// handles to per-step counter shards via WithCounter.
 type Env interface {
 	// Table resolves a stored table by name.
-	Table(name string) (*rel.Table, error)
+	Table(name string) (*storage.Handle, error)
 	// Rel resolves a named in-memory relation.
 	Rel(name string) (*rel.Relation, error)
 }
@@ -182,76 +186,13 @@ func evalProject(p *Project, env Env) (*rel.Relation, error) {
 	return out, nil
 }
 
-// probeShape is the environment-free description of a plan fragment that
-// can be probed through a stored table's secondary index: a Scan,
-// optionally wrapped in Selects, or a stored RelRef (possibly with renamed
-// attributes). extra conjoins every σ predicate of the chain, over the
-// node's qualified schema. Both the interpreted evaluator (asProbe,
-// evalStoredSelect) and the plan compiler derive their access strategies
-// from this one shape analysis, which is what keeps their access counts
-// identical.
-type probeShape struct {
-	table  string
-	st     rel.State
-	schema rel.Schema // qualified output schema
-	toBare func(string) string
-	extra  expr.Expr
-}
-
-func shapeOf(n Node) (*probeShape, bool) {
-	var preds []expr.Expr
-	for {
-		sel, ok := n.(*Select)
-		if !ok {
-			break
-		}
-		preds = append(preds, sel.Pred)
-		n = sel.Child
-	}
-	switch x := n.(type) {
-	case *Scan:
-		return &probeShape{
-			table:  x.Table,
-			st:     x.St,
-			schema: x.schema,
-			toBare: x.BareAttr,
-			extra:  expr.And(preds...),
-		}, true
-	case *RelRef:
-		if !x.Stored {
-			return nil, false
-		}
-		toBare := func(s string) string { return s }
-		if len(x.Bare) > 0 {
-			m := make(map[string]string, len(x.Bare))
-			for i, a := range x.Sch.Attrs {
-				m[a] = x.Bare[i]
-			}
-			toBare = func(s string) string {
-				if b, ok := m[s]; ok {
-					return b
-				}
-				return s
-			}
-		}
-		return &probeShape{
-			table:  x.Name,
-			st:     x.St,
-			schema: x.Sch,
-			toBare: toBare,
-			extra:  expr.And(preds...),
-		}, true
-	}
-	return nil, false
-}
-
 // probeTarget is a probeShape resolved against an environment, with the
 // selection predicate split once: column = literal equalities fold into
 // every index probe (narrowing it to the rows that also satisfy them, for
 // the same single lookup charge), and the residual predicate is compiled
 // once instead of per probe.
 type probeTarget struct {
-	table   *rel.Table
+	table   *storage.Handle
 	state   rel.State
 	schema  rel.Schema // qualified output schema
 	toBare  func(string) string

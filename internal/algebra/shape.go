@@ -1,0 +1,85 @@
+package algebra
+
+import (
+	"idivm/internal/expr"
+	"idivm/internal/rel"
+)
+
+// This file holds the shared access-strategy analysis of the two
+// executors. The interpreted evaluator (eval.go: asProbe,
+// evalStoredSelect) and the plan compiler (compile.go: cStoredSelect,
+// cProbe) must make identical index-vs-scan and probe decisions — the
+// differential suite asserts their access counters are byte-identical —
+// so both derive their strategies from the one probeShape analysis
+// defined here instead of reimplementing (and drifting on) it.
+
+// probeShape is the environment-free description of a plan fragment that
+// can be probed through a stored table's secondary index: a Scan,
+// optionally wrapped in Selects, or a stored RelRef (possibly with renamed
+// attributes). extra conjoins every σ predicate of the chain, over the
+// node's qualified schema.
+type probeShape struct {
+	// table is the stored table the fragment bottoms out in.
+	table string
+	// st is the table state (pre/post) the fragment reads.
+	st rel.State
+	// schema is the fragment's qualified output schema.
+	schema rel.Schema
+	// toBare maps a qualified attribute of schema to the underlying
+	// table's bare column name, which is what secondary indexes are
+	// keyed by.
+	toBare func(string) string
+	// extra is the conjunction of every σ predicate wrapped around the
+	// leaf (TRUE when the fragment is a bare leaf).
+	extra expr.Expr
+}
+
+// shapeOf peels a chain of Selects off n and reports the probeShape of
+// the stored leaf underneath, or ok=false when the fragment does not
+// bottom out in a stored table (derived RelRefs, joins, projections...).
+func shapeOf(n Node) (*probeShape, bool) {
+	var preds []expr.Expr
+	for {
+		sel, ok := n.(*Select)
+		if !ok {
+			break
+		}
+		preds = append(preds, sel.Pred)
+		n = sel.Child
+	}
+	switch x := n.(type) {
+	case *Scan:
+		return &probeShape{
+			table:  x.Table,
+			st:     x.St,
+			schema: x.schema,
+			toBare: x.BareAttr,
+			extra:  expr.And(preds...),
+		}, true
+	case *RelRef:
+		if !x.Stored {
+			return nil, false
+		}
+		toBare := func(s string) string { return s }
+		if len(x.Bare) > 0 {
+			m := make(map[string]string, len(x.Bare))
+			for i, a := range x.Sch.Attrs {
+				m[a] = x.Bare[i]
+			}
+			toBare = func(s string) string {
+				if b, ok := m[s]; ok {
+					return b
+				}
+				return s
+			}
+		}
+		return &probeShape{
+			table:  x.Name,
+			st:     x.St,
+			schema: x.Sch,
+			toBare: toBare,
+			extra:  expr.And(preds...),
+		}, true
+	}
+	return nil, false
+}

@@ -1,18 +1,21 @@
 // Package db provides the catalog and modification log of idIVM: a set of
-// named stored tables (base tables, materialized views and caches), a
-// trigger-style modification logger, and the pre-/post-state epoch
-// management that deferred IVM requires (Section 3 of the paper).
+// named stored tables (base tables, materialized views and caches) and a
+// trigger-style modification logger, layered over a storage.Engine.
 //
-// Base-table modifications are applied eagerly, as in a live DBMS. The
-// first modification to a table after the last maintenance opens an epoch
-// that freezes the table's pre-state (the state the views were last
-// consistent with); maintenance consumes the log and closes the epochs.
+// Storage itself — rows, indexes, epoch pre-state snapshots — lives
+// behind the engine boundary (internal/storage); the catalog only decides
+// *when* epochs open (the first logged modification after the last
+// maintenance freezes the pre-state the views were last consistent with,
+// Section 3 of the paper) and maintenance consumes the log and closes the
+// epochs. Base-table modifications are applied eagerly, as in a live
+// DBMS.
 package db
 
 import (
 	"fmt"
 
 	"idivm/internal/rel"
+	"idivm/internal/storage"
 )
 
 // ModKind classifies a logged modification.
@@ -46,8 +49,10 @@ type Modification struct {
 	Post  rel.Tuple // full post-image (insert, update)
 }
 
-// Database is the catalog: named stored tables plus the modification log.
-// It implements algebra.Env (with no relation bindings; the IVM executor
+// Database is the catalog: named stored tables plus the modification log,
+// over a storage.Engine that allocates the tables themselves. Every table
+// is held as a *storage.Handle charging the database-wide counter. It
+// implements algebra.Env (with no relation bindings; the IVM executor
 // layers bindings on top).
 //
 // Concurrency contract: catalog mutations (CreateTable/AddTable/DropTable/
@@ -56,48 +61,60 @@ type Modification struct {
 // between maintenance rounds. During a maintenance round the catalog and
 // log are read-only, so the parallel Δ-script executor may resolve tables
 // and compact the log from many goroutines; per-row thread-safety lives in
-// rel.Table, and cost attribution is sharded via rel.Table.WithCounter
-// with MergeCounter folding the shards back here.
+// the storage backend, and cost attribution is sharded via
+// storage.Handle.WithCounter with MergeCounter folding the shards back
+// here.
 type Database struct {
-	tables  map[string]*rel.Table
+	engine  storage.Engine
+	tables  map[string]*storage.Handle
 	order   []string
 	counter rel.CostCounter
 	log     []Modification
 	logging map[string]bool // tables whose changes are logged (base tables of views)
 }
 
-// New creates an empty database.
+// New creates an empty database on the default in-memory engine.
 func New() *Database {
-	return &Database{tables: make(map[string]*rel.Table), logging: make(map[string]bool)}
+	return NewWith(storage.NewMem())
 }
+
+// NewWith creates an empty database on the given storage engine.
+func NewWith(e storage.Engine) *Database {
+	return &Database{engine: e, tables: make(map[string]*storage.Handle), logging: make(map[string]bool)}
+}
+
+// Engine returns the storage engine the catalog allocates tables from.
+func (d *Database) Engine() storage.Engine { return d.engine }
 
 // Counter returns the database-wide cost counter; all registered tables
 // charge to it.
 func (d *Database) Counter() *rel.CostCounter { return &d.counter }
 
 // MergeCounter folds a sharded cost counter (accumulated by a parallel
-// maintenance run through rel.Table.WithCounter handles) into the
+// maintenance run through storage.Handle.WithCounter handles) into the
 // database-wide counter, keeping its totals identical to a sequential run.
 // Callers must have joined the goroutines that charged the shard.
 func (d *Database) MergeCounter(c rel.CostCounter) { d.counter.Add(c) }
 
-// CreateTable registers a new stored table with the given bare-name schema.
-func (d *Database) CreateTable(name string, schema rel.Schema) (*rel.Table, error) {
+// CreateTable allocates a new stored table on the engine and registers it
+// under the given bare-name schema.
+func (d *Database) CreateTable(name string, schema rel.Schema) (*storage.Handle, error) {
 	if _, dup := d.tables[name]; dup {
 		return nil, fmt.Errorf("db: table %q already exists", name)
 	}
-	t, err := rel.NewTable(name, schema)
+	t, err := d.engine.Create(name, schema)
 	if err != nil {
 		return nil, err
 	}
-	t.SetCounter(&d.counter)
-	d.tables[name] = t
+	h := storage.NewHandle(t)
+	h.SetCounter(&d.counter)
+	d.tables[name] = h
 	d.order = append(d.order, name)
-	return t, nil
+	return h, nil
 }
 
 // MustCreateTable is CreateTable that panics on error.
-func (d *Database) MustCreateTable(name string, schema rel.Schema) *rel.Table {
+func (d *Database) MustCreateTable(name string, schema rel.Schema) *storage.Handle {
 	t, err := d.CreateTable(name, schema)
 	if err != nil {
 		panic(err)
@@ -105,14 +122,17 @@ func (d *Database) MustCreateTable(name string, schema rel.Schema) *rel.Table {
 	return t
 }
 
-// AddTable registers an existing table (e.g. a materialized view built by
-// the IVM layer) under its own name.
-func (d *Database) AddTable(t *rel.Table) error {
+// AddTable registers an existing backend table (e.g. one prepared outside
+// the catalog by a test) under its own name, wrapping it in a handle that
+// charges the database-wide counter. The table must not already be
+// wrapped in a *storage.Handle — that would double-charge every access.
+func (d *Database) AddTable(t storage.Table) error {
 	if _, dup := d.tables[t.Name()]; dup {
 		return fmt.Errorf("db: table %q already exists", t.Name())
 	}
-	t.SetCounter(&d.counter)
-	d.tables[t.Name()] = t
+	h := storage.NewHandle(t)
+	h.SetCounter(&d.counter)
+	d.tables[t.Name()] = h
 	d.order = append(d.order, t.Name())
 	return nil
 }
@@ -132,7 +152,7 @@ func (d *Database) DropTable(name string) {
 }
 
 // Table implements algebra.Env.
-func (d *Database) Table(name string) (*rel.Table, error) {
+func (d *Database) Table(name string) (*storage.Handle, error) {
 	t, ok := d.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("db: unknown table %q", name)
@@ -155,7 +175,7 @@ func (d *Database) EnableLogging(table string) { d.logging[table] = true }
 // LoggingEnabled reports whether modifications to the table are logged.
 func (d *Database) LoggingEnabled(table string) bool { return d.logging[table] }
 
-func (d *Database) beginEpochIfLogged(t *rel.Table) {
+func (d *Database) beginEpochIfLogged(t *storage.Handle) {
 	if d.logging[t.Name()] && !t.InEpoch() {
 		t.BeginEpoch()
 	}

@@ -74,8 +74,8 @@ type stepDAG struct {
 //     freshness check guarantees all applies precede it in script order).
 //
 // Pre-state reads take no edge: the epoch snapshot is frozen at script
-// start and rel.Table's locking makes concurrent pre-reads race-free even
-// while the post-state is being mutated.
+// start and the storage backend's locking makes concurrent pre-reads
+// race-free even while the post-state is being mutated.
 func buildDAG(s *Script) *stepDAG {
 	n := len(s.Steps)
 	d := &stepDAG{succ: make([][]int, n), indeg: make([]int, n)}

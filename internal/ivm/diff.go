@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"idivm/internal/rel"
+	"idivm/internal/storage"
 )
 
 // DiffType classifies an i-diff: insert, delete or update (Section 2).
@@ -134,7 +135,7 @@ func (i *Instance) Len() int { return i.Rows.Len() }
 // It returns the number of view tuples touched. Dummy diff tuples
 // (overestimation) match nothing and are charged only their index lookup,
 // exactly the overestimation cost the paper analyzes.
-func (i *Instance) Apply(t *rel.Table) (int, error) {
+func (i *Instance) Apply(t storage.Table) (int, error) {
 	switch i.Schema.Type {
 	case DiffUpdate:
 		return i.applyUpdate(t)
@@ -146,7 +147,7 @@ func (i *Instance) Apply(t *rel.Table) (int, error) {
 	return 0, fmt.Errorf("ivm: unknown diff type %d", i.Schema.Type)
 }
 
-func (i *Instance) applyUpdate(t *rel.Table) (int, error) {
+func (i *Instance) applyUpdate(t storage.Table) (int, error) {
 	sch := i.Rows.Schema
 	idIdx, err := sch.Indices(i.Schema.IDs)
 	if err != nil {
@@ -179,7 +180,7 @@ func (i *Instance) applyUpdate(t *rel.Table) (int, error) {
 	return touched, nil
 }
 
-func (i *Instance) applyInsert(t *rel.Table) (int, error) {
+func (i *Instance) applyInsert(t storage.Table) (int, error) {
 	tSchema := t.Schema()
 	if !eqStrs(i.Schema.IDs, tSchema.Key) {
 		return 0, fmt.Errorf("ivm: insert diff IDs %v must equal the full key %v of %s",
@@ -215,7 +216,7 @@ func (i *Instance) applyInsert(t *rel.Table) (int, error) {
 	return inserted, nil
 }
 
-func (i *Instance) applyDelete(t *rel.Table) (int, error) {
+func (i *Instance) applyDelete(t storage.Table) (int, error) {
 	idIdx, err := i.Rows.Schema.Indices(i.Schema.IDs)
 	if err != nil {
 		return 0, err
@@ -247,7 +248,7 @@ func (i *Instance) applyDelete(t *rel.Table) (int, error) {
 // Lookups performed here are charged to the table's counter like any other
 // access, so production paths should only enable self-checking when
 // measuring correctness, not cost.
-func (i *Instance) IsEffective(t *rel.Table) (bool, error) {
+func (i *Instance) IsEffective(t storage.Table) (bool, error) {
 	sch := i.Rows.Schema
 	idIdx, err := sch.Indices(i.Schema.IDs)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"idivm/internal/rel"
+	"idivm/internal/storage"
 )
 
 // viewTable builds the running example's view instance of Figure 2.
@@ -42,13 +43,13 @@ func TestApplyUpdatePartialID(t *testing.T) {
 // A dummy diff tuple (overestimation) matches nothing and costs only its
 // index lookup — the overestimation cost model of Section 1.
 func TestApplyUpdateDummyTupleCost(t *testing.T) {
-	vt := viewTable(t)
+	h := storage.NewHandle(viewTable(t))
 	var c rel.CostCounter
-	vt.SetCounter(&c)
+	h.SetCounter(&c)
 	ds := DiffSchema{Type: DiffUpdate, Rel: "V", IDs: []string{"pid"}, Post: []string{"price"}}
 	inst := NewInstance(ds)
 	inst.Rows.Add(rel.Tuple{rel.String("P9"), rel.Int(99)})
-	n, err := inst.Apply(vt)
+	n, err := inst.Apply(h)
 	if err != nil || n != 0 {
 		t.Fatalf("dummy apply: n=%d err=%v", n, err)
 	}

@@ -8,6 +8,7 @@ import (
 	"idivm/internal/expr"
 	"idivm/internal/ivm"
 	"idivm/internal/rel"
+	"idivm/internal/storage"
 )
 
 // Views registered over empty base tables must materialize empty and pick
@@ -96,7 +97,7 @@ func TestThreeWayUnion(t *testing.T) {
 	for _, mode := range []ivm.Mode{ivm.ModeID, ivm.ModeTuple} {
 		t.Run(mode.String(), func(t *testing.T) {
 			d := db.New()
-			mk := func(name string) *rel.Table {
+			mk := func(name string) *storage.Handle {
 				tb := d.MustCreateTable(name, rel.NewSchema([]string{"k", "v"}, []string{"k"}))
 				tb.MustInsert(rel.Int(1), rel.String(name))
 				return tb

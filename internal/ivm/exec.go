@@ -8,6 +8,7 @@ import (
 	"idivm/internal/algebra"
 	"idivm/internal/db"
 	"idivm/internal/rel"
+	"idivm/internal/storage"
 )
 
 // PhaseCosts records access counts and wall-clock time per maintenance
@@ -107,7 +108,7 @@ type stepEnv struct {
 }
 
 // Table implements algebra.Env.
-func (e *stepEnv) Table(name string) (*rel.Table, error) {
+func (e *stepEnv) Table(name string) (*storage.Handle, error) {
 	t, err := e.x.d.Table(name)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"idivm/internal/db"
 	"idivm/internal/expr"
 	"idivm/internal/rel"
+	"idivm/internal/storage"
 )
 
 func linDB(t *testing.T) *db.Database {
@@ -164,7 +165,7 @@ type testEnv struct {
 	rels map[string]*rel.Relation
 }
 
-func (e *testEnv) Table(name string) (*rel.Table, error) { return e.d.Table(name) }
+func (e *testEnv) Table(name string) (*storage.Handle, error) { return e.d.Table(name) }
 func (e *testEnv) Rel(name string) (*rel.Relation, error) {
 	if r, ok := e.rels[name]; ok {
 		return r, nil

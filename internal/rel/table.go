@@ -26,8 +26,7 @@ func (s State) String() string {
 }
 
 // tableCore is the shared storage of a table: rows, indexes and epoch
-// state. Multiple Table handles (differing only in their cost counter)
-// may point at one core, so every access goes through core.mu:
+// state. Every access goes through core.mu:
 //
 //   - readers (Scan/Get/Lookup/Len/Rows/Relation) hold mu.RLock; the
 //     Δ-script scheduler may run many of them concurrently;
@@ -56,21 +55,18 @@ type tableCore struct {
 	preSecondary map[string]*hashIndex
 }
 
-// Table is a handle on a stored relation: a base table, a materialized
-// view, or an intermediate cache. The underlying storage maintains a
+// Table is the storage core of the default in-memory engine: a stored
+// relation (base table, materialized view, or intermediate cache) with a
 // primary-key hash index, lazily built secondary hash indexes, and an
 // optional pre-state snapshot used during a maintenance epoch (deferred
 // IVM).
 //
-// Every read performed through Scan/Get/Lookup and every write performed
-// through Insert/Delete/Update is charged to the handle's CostCounter,
-// implementing the access-count cost model of the paper's Section 6.
-// WithCounter derives a handle over the same storage charging a different
-// counter, which is how the parallel executor shards cost attribution
-// without sharing (and hence racing on) one counter.
+// Table implements pure storage semantics and charges nothing. The
+// access-count cost model of the paper's Section 6 lives one layer up, in
+// the storage.Handle decorator every consumer above the engine boundary
+// goes through.
 type Table struct {
-	core    *tableCore
-	counter *CostCounter
+	core *tableCore
 }
 
 // NewTable creates an empty stored table. The schema must declare a
@@ -108,20 +104,6 @@ func (t *Table) Name() string { return t.core.name }
 // Schema returns the table's schema.
 func (t *Table) Schema() Schema { return t.core.schema }
 
-// SetCounter attaches the cost counter charged by subsequent accesses
-// through this handle.
-func (t *Table) SetCounter(c *CostCounter) { t.counter = c }
-
-// WithCounter returns a handle over the same stored data that charges its
-// accesses to c instead. The executor hands each worker such a handle so
-// concurrent steps never write one counter.
-func (t *Table) WithCounter(c *CostCounter) *Table {
-	if c == t.counter {
-		return t
-	}
-	return &Table{core: t.core, counter: c}
-}
-
 // Len returns the number of live (post-state) rows.
 func (t *Table) Len() int {
 	t.core.mu.RLock()
@@ -139,14 +121,6 @@ func (t *Table) LenPre() int {
 	return len(t.core.rows)
 }
 
-func (t *Table) charge(reads, lookups, writes int64) {
-	if t.counter != nil {
-		t.counter.TupleReads += reads
-		t.counter.IndexLookups += lookups
-		t.counter.TupleWrites += writes
-	}
-}
-
 func (c *tableCore) keyOf(row Tuple) string { return KeyOf(row, c.keyIdx) }
 
 func (c *tableCore) stateRows(s State) ([]Tuple, map[string]int) {
@@ -156,9 +130,9 @@ func (c *tableCore) stateRows(s State) ([]Tuple, map[string]int) {
 	return c.rows, c.byKey
 }
 
-// Rows returns the raw tuples of the requested state without charging the
-// cost counter. It exists for verification, snapshotting and test oracles;
-// plan evaluation must use Scan. Callers must not mutate the tuples, and —
+// Rows returns the raw tuples of the requested state. It exists for
+// verification, snapshotting and test oracles. Callers must not mutate
+// the tuples, and —
 // when other goroutines may write the table — must not retain a post-state
 // slice across a mutation.
 func (t *Table) Rows(s State) []Tuple {
@@ -168,21 +142,20 @@ func (t *Table) Rows(s State) []Tuple {
 	return rows
 }
 
-// Scan reads every tuple of the requested state, charging one tuple read
-// per row. Callers must not mutate the returned tuples. The returned slice
-// aliases table storage; the Δ-script DAG guarantees no concurrent writer
-// exists for the state being read (post-state reads are ordered after all
-// applies, pre-state rows are frozen for the epoch).
+// Scan reads every tuple of the requested state. Callers must not mutate
+// the returned tuples. The returned slice aliases table storage; the
+// Δ-script DAG guarantees no concurrent writer exists for the state being
+// read (post-state reads are ordered after all applies, pre-state rows
+// are frozen for the epoch).
 func (t *Table) Scan(s State) []Tuple {
 	t.core.mu.RLock()
 	rows, _ := t.core.stateRows(s)
 	t.core.mu.RUnlock()
-	t.charge(int64(len(rows)), 0, 0)
 	return rows
 }
 
-// Relation materializes the requested state as a Relation, without
-// charging the counter (snapshot utility).
+// Relation materializes the requested state as a Relation (snapshot
+// utility).
 func (t *Table) Relation(s State) *Relation {
 	t.core.mu.RLock()
 	rows, _ := t.core.stateRows(s)
@@ -192,8 +165,7 @@ func (t *Table) Relation(s State) *Relation {
 	return r
 }
 
-// Get fetches the row with the given primary-key values, charging one
-// index lookup plus one tuple read when found.
+// Get fetches the row with the given primary-key values.
 func (t *Table) Get(s State, key []Value) (Tuple, bool) {
 	kt := make(Tuple, len(key))
 	copy(kt, key)
@@ -206,18 +178,14 @@ func (t *Table) Get(s State, key []Value) (Tuple, bool) {
 		row = rows[i]
 	}
 	t.core.mu.RUnlock()
-	t.charge(0, 1, 0)
 	if !ok {
 		return nil, false
 	}
-	t.charge(1, 0, 0)
 	return row, true
 }
 
 // Lookup probes a (lazily built) secondary hash index over the named
-// attributes, charging one index lookup plus one tuple read per match.
-// Building the index itself is not charged: the paper's analysis assumes
-// the necessary indexes exist.
+// attributes.
 func (t *Table) Lookup(s State, attrs []string, vals []Value) ([]Tuple, error) {
 	t.core.mu.RLock()
 	idx, err := t.core.indexOn(s, attrs)
@@ -232,7 +200,6 @@ func (t *Table) Lookup(s State, attrs []string, vals []Value) ([]Tuple, error) {
 		out = append(out, rows[p])
 	}
 	t.core.mu.RUnlock()
-	t.charge(int64(len(out)), 1, 0)
 	return out, nil
 }
 
@@ -253,10 +220,9 @@ func PrepareLookup(attrs []string) PrepLookup {
 func (p PrepLookup) Attrs() []string { return p.attrs }
 
 // LookupInto is Lookup through a prepared probe, appending the matches to
-// out (reusing its capacity) instead of allocating a result slice. The
-// charge is identical to Lookup's: one index lookup plus one tuple read per
-// match. keyBuf is an optional scratch buffer for the probe key encoding;
-// the (possibly grown) buffer is returned for reuse.
+// out (reusing its capacity) instead of allocating a result slice. keyBuf
+// is an optional scratch buffer for the probe key encoding; the (possibly
+// grown) buffer is returned for reuse.
 func (t *Table) LookupInto(s State, pl PrepLookup, vals []Value, keyBuf []byte, out []Tuple) ([]Tuple, []byte, error) {
 	keyBuf = AppendTupleKey(keyBuf[:0], vals)
 	t.core.mu.RLock()
@@ -271,17 +237,13 @@ func (t *Table) LookupInto(s State, pl PrepLookup, vals []Value, keyBuf []byte, 
 		out = append(out, rows[p])
 	}
 	t.core.mu.RUnlock()
-	t.charge(int64(len(positions)), 1, 0)
 	return out, keyBuf, nil
 }
 
 // IndexCard reports (p, n): how many rows of the requested state match vals
-// on the secondary index over attrs, and the state's total row count.
-// Nothing is charged — this is catalog metadata, the cardinality a planner
-// consults when choosing between an index probe (1 lookup + p reads) and a
-// full scan (n reads). The paper's cost model already assumes the needed
-// indexes exist; consulting their statistics is part of planning, not of
-// data access.
+// on the secondary index over attrs, and the state's total row count —
+// catalog metadata, the cardinality a planner consults when choosing
+// between an index probe (1 lookup + p reads) and a full scan (n reads).
 func (t *Table) IndexCard(s State, attrs []string, vals []Value) (p, n int, err error) {
 	t.core.mu.RLock()
 	defer t.core.mu.RUnlock()
@@ -293,8 +255,7 @@ func (t *Table) IndexCard(s State, attrs []string, vals []Value) (p, n int, err 
 	return len(idx.get(vals)), len(rows), nil
 }
 
-// Insert adds a row, failing on a primary-key conflict. One tuple write is
-// charged.
+// Insert adds a row, failing on a primary-key conflict.
 func (t *Table) Insert(row Tuple) error {
 	c := t.core
 	if len(row) != len(c.schema.Attrs) {
@@ -311,7 +272,6 @@ func (t *Table) Insert(row Tuple) error {
 	c.rows = append(c.rows, row.Clone())
 	c.indexesAdd(c.rows[pos], pos)
 	c.epochMutated = true
-	t.charge(0, 0, 1)
 	return nil
 }
 
@@ -326,7 +286,6 @@ func (t *Table) MustInsert(vals ...Value) {
 // (the APPLY semantics of insert i-diffs, Section 2). It returns an error
 // if a row with the same key but different non-key values exists, which
 // would be a primary-key violation and indicates a non-effective diff.
-// One index lookup is always charged; one write when the row is inserted.
 func (t *Table) InsertIfAbsent(row Tuple) (inserted bool, err error) {
 	c := t.core
 	if len(row) != len(c.schema.Attrs) {
@@ -335,7 +294,6 @@ func (t *Table) InsertIfAbsent(row Tuple) (inserted bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := c.keyOf(row)
-	t.charge(0, 1, 0)
 	if i, ok := c.byKey[k]; ok {
 		if c.rows[i].Equal(row) {
 			return false, nil
@@ -347,31 +305,27 @@ func (t *Table) InsertIfAbsent(row Tuple) (inserted bool, err error) {
 	c.rows = append(c.rows, row.Clone())
 	c.indexesAdd(c.rows[pos], pos)
 	c.epochMutated = true
-	t.charge(0, 0, 1)
 	return true, nil
 }
 
-// DeleteKey removes the row with the given primary-key values if present,
-// charging one index lookup plus one write when a row is removed.
+// DeleteKey removes the row with the given primary-key values if present.
 func (t *Table) DeleteKey(key []Value) bool {
 	kt := make(Tuple, len(key))
 	copy(kt, key)
 	c := t.core
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	t.charge(0, 1, 0)
 	i, ok := c.byKey[TupleKey(kt)]
 	if !ok {
 		return false
 	}
 	c.removeAt(i)
-	t.charge(0, 0, 1)
 	return true
 }
 
 // DeleteWhere removes every row whose attrs equal vals (an ID-subset
-// delete, the APPLY semantics of delete i-diffs). It charges one index
-// lookup plus one write per removed row, and returns the removal count.
+// delete, the APPLY semantics of delete i-diffs), returning the removal
+// count.
 func (t *Table) DeleteWhere(attrs []string, vals []Value) (int, error) {
 	c := t.core
 	c.mu.Lock()
@@ -380,7 +334,6 @@ func (t *Table) DeleteWhere(attrs []string, vals []Value) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	t.charge(0, 1, 0)
 	positions := idx.get(vals)
 	if len(positions) == 0 {
 		return 0, nil
@@ -393,16 +346,14 @@ func (t *Table) DeleteWhere(attrs []string, vals []Value) (int, error) {
 	for _, k := range keys {
 		if i, ok := c.byKey[k]; ok {
 			c.removeAt(i)
-			t.charge(0, 0, 1)
 		}
 	}
 	return len(keys), nil
 }
 
 // UpdateWhere updates every row whose attrs equal vals, overwriting the
-// setAttrs columns with setVals. It charges one index lookup plus one
-// write per updated row and returns the update count. Key attributes
-// cannot be updated (they are immutable in the paper's model).
+// setAttrs columns with setVals, and returns the update count. Key
+// attributes cannot be updated (they are immutable in the paper's model).
 func (t *Table) UpdateWhere(attrs []string, vals []Value, setAttrs []string, setVals []Value) (int, error) {
 	c := t.core
 	for _, a := range setAttrs {
@@ -420,7 +371,6 @@ func (t *Table) UpdateWhere(attrs []string, vals []Value, setAttrs []string, set
 	if err != nil {
 		return 0, err
 	}
-	t.charge(0, 1, 0)
 	positions := idx.get(vals)
 	for _, p := range positions {
 		old := c.rows[p]
@@ -431,13 +381,11 @@ func (t *Table) UpdateWhere(attrs []string, vals []Value, setAttrs []string, set
 		c.rows[p] = nr
 		c.indexesUpdate(old, nr, p)
 		c.epochMutated = true
-		t.charge(0, 0, 1)
 	}
 	return len(positions), nil
 }
 
-// UpdateKey updates the single row with the given primary key. It charges
-// one index lookup plus one write when the row exists.
+// UpdateKey updates the single row with the given primary key.
 func (t *Table) UpdateKey(key []Value, setAttrs []string, setVals []Value) (bool, error) {
 	n, err := t.UpdateWhere(t.core.schema.Key, key, setAttrs, setVals)
 	return n > 0, err
@@ -460,9 +408,9 @@ func (c *tableCore) removeAt(i int) {
 
 // BeginEpoch snapshots the current contents as the pre-state. Subsequent
 // mutations affect only the post-state; Scan/Get/Lookup with StatePre see
-// the snapshot. Snapshotting is O(n) in row references and is not charged
-// to the cost counter (it models the DBMS's ability to read the pre-state
-// from diffs/log, per Section 4's Input_pre).
+// the snapshot. Snapshotting is O(n) in row references (it models the
+// DBMS's ability to read the pre-state from diffs/log, per Section 4's
+// Input_pre).
 func (t *Table) BeginEpoch() {
 	c := t.core
 	c.mu.Lock()
@@ -500,7 +448,7 @@ func (t *Table) InEpoch() bool {
 }
 
 // Clone returns an independent deep copy of the table's post-state (no
-// epoch state, no counter).
+// epoch state).
 func (t *Table) Clone() *Table {
 	c := MustNewTable(t.core.name, t.core.schema)
 	t.core.mu.RLock()
@@ -510,6 +458,5 @@ func (t *Table) Clone() *Table {
 			panic(err)
 		}
 	}
-	c.counter = nil
 	return c
 }

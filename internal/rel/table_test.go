@@ -37,42 +37,8 @@ func TestTableInsertGet(t *testing.T) {
 	}
 }
 
-func TestTableCostAccounting(t *testing.T) {
-	tab := mkParts(t)
-	var c CostCounter
-	tab.SetCounter(&c)
-
-	tab.Scan(StatePost)
-	if c.TupleReads != 3 {
-		t.Errorf("scan of 3 rows charged %d reads", c.TupleReads)
-	}
-	c.Reset()
-	tab.Get(StatePost, []Value{String("P1")})
-	if c.IndexLookups != 1 || c.TupleReads != 1 {
-		t.Errorf("get charged %v", c)
-	}
-	c.Reset()
-	tab.Get(StatePost, []Value{String("P9")})
-	if c.IndexLookups != 1 || c.TupleReads != 0 {
-		t.Errorf("missing get charged %v", c)
-	}
-	c.Reset()
-	rows, err := tab.Lookup(StatePost, []string{"price"}, []Value{Int(20)})
-	if err != nil || len(rows) != 2 {
-		t.Fatalf("Lookup price=20: %v rows, err %v", len(rows), err)
-	}
-	if c.IndexLookups != 1 || c.TupleReads != 2 {
-		t.Errorf("lookup charged %v", c)
-	}
-	c.Reset()
-	n, err := tab.UpdateWhere([]string{"price"}, []Value{Int(20)}, []string{"price"}, []Value{Int(21)})
-	if err != nil || n != 2 {
-		t.Fatalf("UpdateWhere: n=%d err=%v", n, err)
-	}
-	if c.IndexLookups != 1 || c.TupleWrites != 2 {
-		t.Errorf("update charged %v", c)
-	}
-}
+// Cost accounting moved out of Table with the storage-engine split; the
+// charging rules are covered by internal/storage's handle tests.
 
 func TestTableUpdateKeyImmutable(t *testing.T) {
 	tab := mkParts(t)

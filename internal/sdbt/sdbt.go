@@ -29,6 +29,7 @@ import (
 	"idivm/internal/db"
 	"idivm/internal/ivm"
 	"idivm/internal/rel"
+	"idivm/internal/storage"
 	"idivm/internal/workload"
 )
 
@@ -56,13 +57,13 @@ type Engine struct {
 	variant Variant
 	prefix  string
 
-	view   *rel.Table // (did, cost) — the maintained aggregate view
-	mparts *rel.Table // (pid, did, cnt) over dp ⋈ σ_phone(devices)
+	view   *storage.Handle // (did, cost) — the maintained aggregate view
+	mparts *storage.Handle // (pid, did, cnt) over dp ⋈ σ_phone(devices)
 	// Streams-only maps:
-	mprice *rel.Table // (pid, price) — parts as a map
-	mphone *rel.Table // (did, isphone)
-	mdev   *rel.Table // (did, s) — per-device price sum over ALL devices
-	mdp    *rel.Table // (pid, did, cnt) over dp (unfiltered)
+	mprice *storage.Handle // (pid, price) — parts as a map
+	mphone *storage.Handle // (did, isphone)
+	mdev   *storage.Handle // (did, s) — per-device price sum over ALL devices
+	mdp    *storage.Handle // (pid, did, cnt) over dp (unfiltered)
 }
 
 // New materializes the view and the variant's maps over the dataset's
@@ -78,7 +79,7 @@ func New(ds *workload.Dataset, variant Variant) (*Engine, error) {
 	return e, nil
 }
 
-func (e *Engine) newMap(name string, schema rel.Schema) (*rel.Table, error) {
+func (e *Engine) newMap(name string, schema rel.Schema) (*storage.Handle, error) {
 	return e.d.CreateTable(e.prefix+name, schema)
 }
 
@@ -200,7 +201,7 @@ func orZero(v rel.Value) rel.Value {
 	return v
 }
 
-func insertOrAddDP(t *rel.Table, pid, did rel.Value) error {
+func insertOrAddDP(t *storage.Handle, pid, did rel.Value) error {
 	if row, ok := t.Get(rel.StatePost, []rel.Value{pid, did}); ok {
 		_, err := t.UpdateWhere([]string{"pid", "did"}, []rel.Value{pid, did},
 			[]string{"cnt"}, []rel.Value{rel.Add(row[2], rel.Int(1))})
@@ -210,7 +211,7 @@ func insertOrAddDP(t *rel.Table, pid, did rel.Value) error {
 }
 
 // ViewTable returns the maintained view table.
-func (e *Engine) ViewTable() *rel.Table { return e.view }
+func (e *Engine) ViewTable() *storage.Handle { return e.view }
 
 // Maintain consumes the modification log tuple-at-a-time (DBToaster's
 // execution model) and brings the view and the maps up to date. It does
@@ -331,7 +332,7 @@ func (e *Engine) Check() error {
 // addToGroup upserts cost[did] += delta, deleting the group when its value
 // would only exist because of an empty contribution set (callers pass
 // exact=true with the group's final membership knowledge).
-func addToGroup(t *rel.Table, valCol string, did rel.Value, delta rel.Value) error {
+func addToGroup(t *storage.Handle, valCol string, did rel.Value, delta rel.Value) error {
 	if row, ok := t.Get(rel.StatePost, []rel.Value{did}); ok {
 		_, err := t.UpdateWhere(t.Schema().Key, []rel.Value{did},
 			[]string{valCol}, []rel.Value{rel.Add(row[1], delta)})

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"idivm/internal/rel"
+	"idivm/internal/storage"
 	"idivm/internal/workload"
 )
 
@@ -144,7 +145,7 @@ func TestRecomputeOracle(t *testing.T) {
 // reachable through the maps when a cnt entry already exists; exercise it
 // directly.
 func TestInsertOrAddDPIncrement(t *testing.T) {
-	m := rel.MustNewTable("m", rel.NewSchema([]string{"pid", "did", "cnt"}, []string{"pid", "did"}))
+	m := storage.NewHandle(rel.MustNewTable("m", rel.NewSchema([]string{"pid", "did", "cnt"}, []string{"pid", "did"})))
 	if err := insertOrAddDP(m, rel.Int(1), rel.Int(2)); err != nil {
 		t.Fatal(err)
 	}

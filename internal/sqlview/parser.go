@@ -8,11 +8,12 @@ import (
 	"idivm/internal/algebra"
 	"idivm/internal/expr"
 	"idivm/internal/rel"
+	"idivm/internal/storage"
 )
 
 // Catalog resolves base table schemas; db.Database satisfies it.
 type Catalog interface {
-	Table(name string) (*rel.Table, error)
+	Table(name string) (*storage.Handle, error)
 }
 
 // View is a parsed view definition.

@@ -1,0 +1,290 @@
+package storage
+
+// Engine-conformance suite: every Table contract below runs against every
+// backend. A new engine earns its place by passing this file (plus the
+// end-to-end differential test in internal/harness) — see DESIGN.md §9.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"idivm/internal/rel"
+)
+
+// engines returns one instance of every backend, including the degenerate
+// single-shard and a shard count larger than typical row counts.
+func engines() map[string]Engine {
+	return map[string]Engine{
+		"mem":       NewMem(),
+		"sharded-1": NewSharded(1),
+		"sharded-3": NewSharded(3),
+		"sharded-8": NewSharded(8),
+	}
+}
+
+// forEachEngine runs f once per backend.
+func forEachEngine(t *testing.T, f func(t *testing.T, e Engine)) {
+	t.Helper()
+	eng := engines()
+	for _, name := range []string{"mem", "sharded-1", "sharded-3", "sharded-8"} {
+		t.Run(name, func(t *testing.T) { f(t, eng[name]) })
+	}
+}
+
+func mkParts(t *testing.T, e Engine) Table {
+	t.Helper()
+	tab, err := e.Create("parts", rel.NewSchema([]string{"pid", "price"}, []string{"pid"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []rel.Tuple{
+		{rel.String("P1"), rel.Int(10)},
+		{rel.String("P2"), rel.Int(20)},
+		{rel.String("P3"), rel.Int(20)},
+	} {
+		if err := tab.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestConformanceCreateRequiresKey(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, e Engine) {
+		if _, err := e.Create("x", rel.Schema{Attrs: []string{"a"}}); err == nil {
+			t.Fatal("expected error for keyless table")
+		}
+	})
+}
+
+func TestConformanceInsertGetDelete(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, e Engine) {
+		tab := mkParts(t, e)
+		if tab.Name() != "parts" || len(tab.Schema().Attrs) != 2 {
+			t.Fatalf("name/schema: %s %v", tab.Name(), tab.Schema())
+		}
+		if tab.Len() != 3 {
+			t.Fatalf("len = %d", tab.Len())
+		}
+		row, ok := tab.Get(rel.StatePost, []rel.Value{rel.String("P2")})
+		if !ok || !row[1].Equal(rel.Int(20)) {
+			t.Fatalf("Get(P2) = %v, %v", row, ok)
+		}
+		if _, ok := tab.Get(rel.StatePost, []rel.Value{rel.String("P9")}); ok {
+			t.Fatal("Get(P9) should miss")
+		}
+		if err := tab.Insert(rel.Tuple{rel.String("P1"), rel.Int(99)}); err == nil {
+			t.Fatal("duplicate key insert must fail")
+		}
+		if err := tab.Insert(rel.Tuple{rel.String("P4")}); err == nil {
+			t.Fatal("wrong-width insert must fail")
+		}
+		if !tab.DeleteKey([]rel.Value{rel.String("P2")}) {
+			t.Fatal("delete P2 failed")
+		}
+		if tab.DeleteKey([]rel.Value{rel.String("P2")}) {
+			t.Fatal("double delete should report false")
+		}
+		if tab.Len() != 2 {
+			t.Fatalf("len after delete = %d", tab.Len())
+		}
+	})
+}
+
+func TestConformanceSecondaryLookup(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, e Engine) {
+		tab := mkParts(t, e)
+		rows, err := tab.Lookup(rel.StatePost, []string{"price"}, []rel.Value{rel.Int(20)})
+		if err != nil || len(rows) != 2 {
+			t.Fatalf("Lookup price=20: %d rows, err %v", len(rows), err)
+		}
+		if _, err := tab.Lookup(rel.StatePost, []string{"nope"}, []rel.Value{rel.Int(1)}); err == nil {
+			t.Fatal("lookup on unknown attr must fail")
+		}
+		pl := rel.PrepareLookup([]string{"price"})
+		out, _, err := tab.LookupInto(rel.StatePost, pl, []rel.Value{rel.Int(20)}, nil, nil)
+		if err != nil || len(out) != 2 {
+			t.Fatalf("LookupInto price=20: %d rows, err %v", len(out), err)
+		}
+		p, n, err := tab.IndexCard(rel.StatePost, []string{"price"}, []rel.Value{rel.Int(20)})
+		if err != nil || p != 2 || n != 3 {
+			t.Fatalf("IndexCard = (%d, %d), err %v", p, n, err)
+		}
+	})
+}
+
+func TestConformanceDiffApplyOps(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, e Engine) {
+		tab := mkParts(t, e)
+		// InsertIfAbsent: identical row is a no-op, conflict errors.
+		ins, err := tab.InsertIfAbsent(rel.Tuple{rel.String("P1"), rel.Int(10)})
+		if err != nil || ins {
+			t.Fatalf("identical InsertIfAbsent: ins=%v err=%v", ins, err)
+		}
+		if _, err := tab.InsertIfAbsent(rel.Tuple{rel.String("P1"), rel.Int(11)}); err == nil {
+			t.Fatal("conflicting InsertIfAbsent must fail")
+		}
+		ins, err = tab.InsertIfAbsent(rel.Tuple{rel.String("P4"), rel.Int(40)})
+		if err != nil || !ins {
+			t.Fatalf("fresh InsertIfAbsent: ins=%v err=%v", ins, err)
+		}
+		// UpdateWhere via secondary attr; key attrs immutable.
+		n, err := tab.UpdateWhere([]string{"price"}, []rel.Value{rel.Int(20)}, []string{"price"}, []rel.Value{rel.Int(21)})
+		if err != nil || n != 2 {
+			t.Fatalf("UpdateWhere: n=%d err=%v", n, err)
+		}
+		if _, err := tab.UpdateKey([]rel.Value{rel.String("P1")}, []string{"pid"}, []rel.Value{rel.String("PX")}); err == nil {
+			t.Fatal("updating a key attribute must fail")
+		}
+		ok, err := tab.UpdateKey([]rel.Value{rel.String("P1")}, []string{"price"}, []rel.Value{rel.Int(12)})
+		if err != nil || !ok {
+			t.Fatalf("UpdateKey: ok=%v err=%v", ok, err)
+		}
+		// DeleteWhere by the updated secondary value.
+		n, err = tab.DeleteWhere([]string{"price"}, []rel.Value{rel.Int(21)})
+		if err != nil || n != 2 {
+			t.Fatalf("DeleteWhere: n=%d err=%v", n, err)
+		}
+		if tab.Len() != 2 {
+			t.Fatalf("len = %d", tab.Len())
+		}
+	})
+}
+
+func TestConformanceEpoch(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, e Engine) {
+		tab := mkParts(t, e)
+		tab.BeginEpoch()
+		if !tab.InEpoch() {
+			t.Fatal("InEpoch after BeginEpoch")
+		}
+		if err := tab.Insert(rel.Tuple{rel.String("P4"), rel.Int(40)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tab.UpdateKey([]rel.Value{rel.String("P1")}, []string{"price"}, []rel.Value{rel.Int(11)}); err != nil {
+			t.Fatal(err)
+		}
+		if !tab.DeleteKey([]rel.Value{rel.String("P3")}) {
+			t.Fatal("delete P3")
+		}
+		// Pre-state is frozen; post-state sees the mutations.
+		if tab.LenPre() != 3 || tab.Len() != 3 {
+			t.Fatalf("lens = pre %d post %d", tab.LenPre(), tab.Len())
+		}
+		pre, ok := tab.Get(rel.StatePre, []rel.Value{rel.String("P1")})
+		if !ok || !pre[1].Equal(rel.Int(10)) {
+			t.Fatalf("pre P1 = %v", pre)
+		}
+		if _, ok := tab.Get(rel.StatePre, []rel.Value{rel.String("P4")}); ok {
+			t.Fatal("P4 must not exist in pre-state")
+		}
+		if _, ok := tab.Get(rel.StatePost, []rel.Value{rel.String("P3")}); ok {
+			t.Fatal("P3 must be gone from post-state")
+		}
+		preRows, err := tab.Lookup(rel.StatePre, []string{"price"}, []rel.Value{rel.Int(20)})
+		if err != nil || len(preRows) != 2 {
+			t.Fatalf("pre lookup: %d rows, err %v", len(preRows), err)
+		}
+		tab.EndEpoch()
+		if tab.InEpoch() || tab.LenPre() != 3 {
+			t.Fatal("EndEpoch must drop the snapshot")
+		}
+		if _, ok := tab.Get(rel.StatePost, []rel.Value{rel.String("P4")}); !ok {
+			t.Fatal("P4 must survive EndEpoch")
+		}
+	})
+}
+
+// TestConformanceRandomizedDifferential drives an identical randomized
+// mixed workload through every backend and asserts that contents (as
+// sets), scan/relation materializations, lookups and — through counting
+// handles — access charges all agree with the mem engine.
+func TestConformanceRandomizedDifferential(t *testing.T) {
+	type run struct {
+		h *Handle
+		c *rel.CostCounter
+	}
+	eng := engines()
+	order := []string{"mem", "sharded-1", "sharded-3", "sharded-8"}
+	runs := make([]run, 0, len(order))
+	schema := rel.NewSchema([]string{"k", "grp", "v"}, []string{"k"})
+	for _, name := range order {
+		tab, err := eng[name].Create("t", schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := new(rel.CostCounter)
+		h := NewHandle(tab)
+		h.SetCounter(c)
+		runs = append(runs, run{h: h, c: c})
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	key := func() []rel.Value { return []rel.Value{rel.Int(int64(rng.Intn(200)))} }
+	for op := 0; op < 2000; op++ {
+		var do func(r run) (any, error)
+		switch k := rng.Intn(10); {
+		case k < 3:
+			row := rel.Tuple{rel.Int(int64(rng.Intn(200))), rel.Int(int64(rng.Intn(5))), rel.Int(int64(rng.Intn(50)))}
+			do = func(r run) (any, error) {
+				ins, err := r.h.InsertIfAbsent(row)
+				if err != nil {
+					return "conflict", nil
+				}
+				return ins, nil
+			}
+		case k < 5:
+			kv := key()
+			do = func(r run) (any, error) { return r.h.DeleteKey(kv), nil }
+		case k < 6:
+			grp := []rel.Value{rel.Int(int64(rng.Intn(5)))}
+			do = func(r run) (any, error) { return r.h.DeleteWhere([]string{"grp"}, grp) }
+		case k < 8:
+			kv := key()
+			v := []rel.Value{rel.Int(int64(rng.Intn(50)))}
+			do = func(r run) (any, error) {
+				ok, err := r.h.UpdateKey(kv, []string{"v"}, v)
+				return ok, err
+			}
+		case k < 9:
+			kv := key()
+			do = func(r run) (any, error) {
+				row, ok := r.h.Get(rel.StatePost, kv)
+				if !ok {
+					return "miss", nil
+				}
+				return row.String(), nil
+			}
+		default:
+			grp := []rel.Value{rel.Int(int64(rng.Intn(5)))}
+			do = func(r run) (any, error) {
+				rows, err := r.h.Lookup(rel.StatePost, []string{"grp"}, grp)
+				return len(rows), err
+			}
+		}
+		ref, refErr := do(runs[0])
+		for i := 1; i < len(runs); i++ {
+			got, gotErr := do(runs[i])
+			if fmt.Sprint(got) != fmt.Sprint(ref) || (gotErr == nil) != (refErr == nil) {
+				t.Fatalf("op %d: %s disagrees with mem: got %v/%v want %v/%v",
+					op, order[i], got, gotErr, ref, refErr)
+			}
+		}
+	}
+	refRel := runs[0].h.Relation(rel.StatePost).Sorted()
+	for i := 1; i < len(runs); i++ {
+		if got := runs[i].h.Relation(rel.StatePost).Sorted(); !refRel.EqualSet(got) {
+			t.Fatalf("%s final contents differ from mem:\n%v\nvs\n%v", order[i], got, refRel)
+		}
+		if runs[i].h.Len() != runs[0].h.Len() {
+			t.Fatalf("%s len %d != mem len %d", order[i], runs[i].h.Len(), runs[0].h.Len())
+		}
+		if *runs[i].c != *runs[0].c {
+			t.Fatalf("%s counter %v != mem counter %v", order[i], runs[i].c, runs[0].c)
+		}
+	}
+	if runs[0].c.Total() == 0 {
+		t.Fatal("workload charged nothing — counting is broken")
+	}
+}

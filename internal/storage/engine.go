@@ -1,0 +1,143 @@
+// Package storage defines idIVM's storage-engine boundary: the contract
+// between the engine-independent layers (catalog + modification log in
+// internal/db, the two plan evaluators in internal/algebra, the Δ-script
+// executor in internal/ivm) and the store they run against.
+//
+// The boundary has three pieces:
+//
+//   - Engine — the backend factory: creating (and, for persistent backends,
+//     opening) named keyed tables. The catalog in internal/db owns the
+//     name→table mapping and delegates allocation here.
+//   - Table — the per-relation data plane: full scans, keyed and secondary
+//     index lookups, the diff-batch apply operations (InsertIfAbsent /
+//     DeleteWhere / UpdateWhere, the APPLY semantics of the paper's
+//     Section 2), epoch open/close for the deferred-IVM pre-state, and
+//     uncharged cardinality statistics for access-path planning.
+//   - Handle — the cost-counting decorator every consumer goes through.
+//     Backends implement pure storage; Handle derives the paper's
+//     access-count charges (Section 6) from each call and its result, so
+//     every backend is costed by exactly one piece of code and access
+//     counts are byte-identical across engines by construction.
+//
+// Two backends ship: the default in-memory engine (NewMem, backed by
+// rel.Table) and a hash-partitioned engine (NewSharded) that splits every
+// table into N key-partitioned rel.Tables — the existence proof that the
+// boundary is real, and the substrate for future per-shard parallel apply.
+package storage
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"idivm/internal/rel"
+)
+
+// Table is the data-plane contract of one stored relation (a base table, a
+// materialized view, or an intermediate cache). Implementations provide
+// pure storage semantics and charge nothing: cost accounting is layered on
+// uniformly by Handle.
+//
+// The concurrency contract matches rel.Table's: readers (Scan/Get/Lookup/
+// LookupInto/Len/Rows/Relation) may run concurrently; writers are
+// serialized per table by the Δ-script scheduler and must be safe against
+// concurrent readers of the other state (pre-state probes during apply).
+type Table interface {
+	// Name returns the table's name.
+	Name() string
+	// Schema returns the table's schema (attributes + primary key).
+	Schema() rel.Schema
+
+	// Len returns the number of live (post-state) rows.
+	Len() int
+	// LenPre returns the number of pre-state rows (Len outside an epoch).
+	LenPre() int
+	// Rows returns the raw tuples of the requested state (verification and
+	// snapshot utility; plan evaluation must go through Scan on a Handle).
+	// Callers must not mutate the tuples.
+	Rows(s rel.State) []rel.Tuple
+	// Scan reads every tuple of the requested state. Callers must not
+	// mutate the returned tuples; the slice may alias backend storage.
+	Scan(s rel.State) []rel.Tuple
+	// Relation materializes the requested state as an independent Relation.
+	Relation(s rel.State) *rel.Relation
+	// Get fetches the row with the given primary-key values.
+	Get(s rel.State, key []rel.Value) (rel.Tuple, bool)
+	// Lookup probes a (lazily built) secondary hash index over attrs.
+	Lookup(s rel.State, attrs []string, vals []rel.Value) ([]rel.Tuple, error)
+	// LookupInto is Lookup through a prepared probe, appending matches to
+	// out and reusing keyBuf for the key encoding.
+	LookupInto(s rel.State, pl rel.PrepLookup, vals []rel.Value, keyBuf []byte, out []rel.Tuple) ([]rel.Tuple, []byte, error)
+	// IndexCard reports (p, n): matching rows on the secondary index over
+	// attrs and the state's total row count — the uncharged catalog
+	// statistics the planner consults for index-vs-scan decisions.
+	IndexCard(s rel.State, attrs []string, vals []rel.Value) (p, n int, err error)
+
+	// Insert adds a row, failing on a primary-key conflict.
+	Insert(row rel.Tuple) error
+	// InsertIfAbsent applies insert i-diff semantics: no-op on an identical
+	// existing row, error on a key conflict with different values.
+	InsertIfAbsent(row rel.Tuple) (inserted bool, err error)
+	// DeleteKey removes the row with the given primary-key values.
+	DeleteKey(key []rel.Value) bool
+	// DeleteWhere removes every row whose attrs equal vals (delete i-diff
+	// semantics), returning the removal count.
+	DeleteWhere(attrs []string, vals []rel.Value) (int, error)
+	// UpdateWhere overwrites setAttrs with setVals on every row whose attrs
+	// equal vals (update i-diff semantics). Key attributes are immutable.
+	UpdateWhere(attrs []string, vals []rel.Value, setAttrs []string, setVals []rel.Value) (int, error)
+	// UpdateKey updates the single row with the given primary key.
+	UpdateKey(key []rel.Value, setAttrs []string, setVals []rel.Value) (bool, error)
+
+	// BeginEpoch freezes the current contents as the pre-state; subsequent
+	// mutations affect only the post-state (deferred IVM, Section 3).
+	BeginEpoch()
+	// EndEpoch discards the pre-state snapshot.
+	EndEpoch()
+	// InEpoch reports whether a maintenance epoch is open.
+	InEpoch() bool
+}
+
+// Engine is a storage backend: it allocates the tables the catalog
+// registers. Engines are stateless factories here — the catalog
+// (db.Database) owns the name→table mapping, logging policy and the
+// database-wide counter; per-table state lives behind Table.
+type Engine interface {
+	// Kind identifies the backend ("mem", "sharded/4", …) for diagnostics.
+	Kind() string
+	// Create allocates a new empty table with the given schema. The schema
+	// must declare a non-empty primary key.
+	Create(name string, schema rel.Schema) (Table, error)
+}
+
+// EnvVar is the environment variable FromEnv consults; the test harness
+// uses it to route entire experiment runs onto an alternate backend
+// (CI runs the internal test suite with IDIVM_ENGINE=sharded).
+const EnvVar = "IDIVM_ENGINE"
+
+// DefaultShards is the partition count FromEnv uses for "sharded" without
+// an explicit count.
+const DefaultShards = 4
+
+// FromEnv selects an engine from $IDIVM_ENGINE: empty or "mem" is the
+// default in-memory engine, "sharded" is a hash-partitioned engine with
+// DefaultShards partitions, and "sharded:N" selects N partitions. A
+// malformed value panics: a typo silently falling back to the default
+// would defeat the CI job that exists to exercise the second backend.
+func FromEnv() Engine {
+	v := strings.TrimSpace(os.Getenv(EnvVar))
+	switch {
+	case v == "" || v == "mem":
+		return NewMem()
+	case v == "sharded":
+		return NewSharded(DefaultShards)
+	case strings.HasPrefix(v, "sharded:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(v, "sharded:"))
+		if err != nil || n < 1 {
+			panic(fmt.Sprintf("storage: malformed %s=%q (want sharded:N with N ≥ 1)", EnvVar, v))
+		}
+		return NewSharded(n)
+	}
+	panic(fmt.Sprintf("storage: unknown %s=%q (want \"mem\", \"sharded\" or \"sharded:N\")", EnvVar, v))
+}

@@ -1,0 +1,191 @@
+package storage
+
+// Handle charging rules, asserted per backend: the decorator derives every
+// charge from (call, result), so the same workload must charge the same
+// counts on every engine — the invariant the CI bench gate pins globally.
+
+import (
+	"testing"
+
+	"idivm/internal/rel"
+)
+
+func countedParts(t *testing.T, e Engine) (*Handle, *rel.CostCounter) {
+	t.Helper()
+	h := NewHandle(mkParts(t, e))
+	c := new(rel.CostCounter)
+	h.SetCounter(c)
+	return h, c
+}
+
+func TestHandleCostAccounting(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, e Engine) {
+		h, c := countedParts(t, e)
+
+		h.Scan(rel.StatePost)
+		if c.TupleReads != 3 {
+			t.Errorf("scan of 3 rows charged %d reads", c.TupleReads)
+		}
+		c.Reset()
+		h.Get(rel.StatePost, []rel.Value{rel.String("P1")})
+		if c.IndexLookups != 1 || c.TupleReads != 1 {
+			t.Errorf("get charged %v", c)
+		}
+		c.Reset()
+		h.Get(rel.StatePost, []rel.Value{rel.String("P9")})
+		if c.IndexLookups != 1 || c.TupleReads != 0 {
+			t.Errorf("missing get charged %v", c)
+		}
+		c.Reset()
+		rows, err := h.Lookup(rel.StatePost, []string{"price"}, []rel.Value{rel.Int(20)})
+		if err != nil || len(rows) != 2 {
+			t.Fatalf("Lookup price=20: %v rows, err %v", len(rows), err)
+		}
+		if c.IndexLookups != 1 || c.TupleReads != 2 {
+			t.Errorf("lookup charged %v", c)
+		}
+		c.Reset()
+		pl := rel.PrepareLookup([]string{"price"})
+		out, _, err := h.LookupInto(rel.StatePost, pl, []rel.Value{rel.Int(20)}, nil, nil)
+		if err != nil || len(out) != 2 {
+			t.Fatalf("LookupInto: %v rows, err %v", len(out), err)
+		}
+		if c.IndexLookups != 1 || c.TupleReads != 2 {
+			t.Errorf("LookupInto charged %v", c)
+		}
+		c.Reset()
+		n, err := h.UpdateWhere([]string{"price"}, []rel.Value{rel.Int(20)}, []string{"price"}, []rel.Value{rel.Int(21)})
+		if err != nil || n != 2 {
+			t.Fatalf("UpdateWhere: n=%d err=%v", n, err)
+		}
+		if c.IndexLookups != 1 || c.TupleWrites != 2 {
+			t.Errorf("update charged %v", c)
+		}
+	})
+}
+
+func TestHandleErrorPathsUncharged(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, e Engine) {
+		h, c := countedParts(t, e)
+		c.Reset()
+
+		if err := h.Insert(rel.Tuple{rel.String("P9")}); err == nil {
+			t.Fatal("width error expected")
+		}
+		if err := h.Insert(rel.Tuple{rel.String("P1"), rel.Int(1)}); err == nil {
+			t.Fatal("duplicate error expected")
+		}
+		if _, err := h.InsertIfAbsent(rel.Tuple{rel.String("P9")}); err == nil {
+			t.Fatal("width error expected")
+		}
+		if _, err := h.Lookup(rel.StatePost, []string{"nope"}, []rel.Value{rel.Int(1)}); err == nil {
+			t.Fatal("index error expected")
+		}
+		if _, err := h.DeleteWhere([]string{"nope"}, []rel.Value{rel.Int(1)}); err == nil {
+			t.Fatal("index error expected")
+		}
+		if _, err := h.UpdateWhere([]string{"price"}, []rel.Value{rel.Int(20)}, []string{"pid"}, []rel.Value{rel.Int(1)}); err == nil {
+			t.Fatal("key-update error expected")
+		}
+		if c.Total() != 0 {
+			t.Fatalf("error paths must charge nothing, got %v", c)
+		}
+
+		// Conflicting InsertIfAbsent passes the width check, so it still
+		// charges its probe lookup — and nothing else.
+		if _, err := h.InsertIfAbsent(rel.Tuple{rel.String("P1"), rel.Int(99)}); err == nil {
+			t.Fatal("conflict expected")
+		}
+		if c.IndexLookups != 1 || c.TupleReads != 0 || c.TupleWrites != 0 {
+			t.Fatalf("conflicting InsertIfAbsent charged %v", c)
+		}
+	})
+}
+
+func TestHandleInsertIfAbsentCharges(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, e Engine) {
+		h, c := countedParts(t, e)
+		c.Reset()
+		if ins, err := h.InsertIfAbsent(rel.Tuple{rel.String("P4"), rel.Int(40)}); err != nil || !ins {
+			t.Fatalf("fresh insert: %v %v", ins, err)
+		}
+		if c.IndexLookups != 1 || c.TupleWrites != 1 {
+			t.Fatalf("fresh InsertIfAbsent charged %v", c)
+		}
+		c.Reset()
+		if ins, err := h.InsertIfAbsent(rel.Tuple{rel.String("P4"), rel.Int(40)}); err != nil || ins {
+			t.Fatalf("identical insert: %v %v", ins, err)
+		}
+		if c.IndexLookups != 1 || c.TupleWrites != 0 {
+			t.Fatalf("identical InsertIfAbsent charged %v", c)
+		}
+	})
+}
+
+func TestHandleDeleteKeyCharges(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, e Engine) {
+		h, c := countedParts(t, e)
+		c.Reset()
+		if !h.DeleteKey([]rel.Value{rel.String("P1")}) {
+			t.Fatal("delete P1")
+		}
+		if c.IndexLookups != 1 || c.TupleWrites != 1 {
+			t.Fatalf("delete charged %v", c)
+		}
+		c.Reset()
+		if h.DeleteKey([]rel.Value{rel.String("P1")}) {
+			t.Fatal("double delete")
+		}
+		if c.IndexLookups != 1 || c.TupleWrites != 0 {
+			t.Fatalf("missing delete charged %v", c)
+		}
+	})
+}
+
+func TestHandleWithCounter(t *testing.T) {
+	e := NewMem()
+	h, c := countedParts(t, e)
+	if h.WithCounter(c) != h {
+		t.Fatal("same-counter WithCounter must return the receiver")
+	}
+	shard := new(rel.CostCounter)
+	h2 := h.WithCounter(shard)
+	h2.Scan(rel.StatePost)
+	if shard.TupleReads != 3 || c.TupleReads != 0 {
+		t.Fatalf("shard=%v root=%v", shard, c)
+	}
+	if h.Backend() != h2.Backend() {
+		t.Fatal("WithCounter must share the backend")
+	}
+	// A nil counter discards charges without crashing.
+	NewHandle(h.Backend()).Scan(rel.StatePost)
+}
+
+func TestFromEnv(t *testing.T) {
+	cases := []struct {
+		v    string
+		kind string
+	}{
+		{"", "mem"},
+		{"mem", "mem"},
+		{"sharded", "sharded/4"},
+		{"sharded:2", "sharded/2"},
+	}
+	for _, tc := range cases {
+		t.Setenv(EnvVar, tc.v)
+		if got := FromEnv().Kind(); got != tc.kind {
+			t.Errorf("FromEnv(%q) = %s, want %s", tc.v, got, tc.kind)
+		}
+	}
+	for _, bad := range []string{"sharded:0", "sharded:x", "disk"} {
+		t.Setenv(EnvVar, bad)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FromEnv(%q) must panic", bad)
+				}
+			}()
+			FromEnv()
+		}()
+	}
+}

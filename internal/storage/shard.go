@@ -1,0 +1,253 @@
+package storage
+
+import (
+	"fmt"
+
+	"idivm/internal/rel"
+)
+
+// shardEngine is the hash-partitioned backend: every table is split into N
+// key-partitioned rel.Tables. A row lives in exactly one shard, chosen by
+// a stable hash of its encoded primary key, so keyed operations (Get,
+// DeleteKey, UpdateKey, Insert, InsertIfAbsent) touch one shard while
+// scans, secondary-index probes and predicate writes fan out over all
+// shards in a fixed order and merge. Because the shards partition the
+// rows, every merged result — row sets, match counts, (p, n) cardinality
+// stats — equals the single-table result, which is what keeps planner
+// decisions and (through Handle) access counts identical to the default
+// engine.
+type shardEngine struct{ n int }
+
+// NewSharded returns a hash-partitioned engine with n partitions per
+// table (n < 1 is treated as 1).
+func NewSharded(n int) Engine {
+	if n < 1 {
+		n = 1
+	}
+	return shardEngine{n: n}
+}
+
+// Kind implements Engine.
+func (e shardEngine) Kind() string { return fmt.Sprintf("sharded/%d", e.n) }
+
+// Create implements Engine.
+func (e shardEngine) Create(name string, schema rel.Schema) (Table, error) {
+	shards := make([]*rel.Table, e.n)
+	for i := range shards {
+		t, err := rel.NewTable(name, schema)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = t
+	}
+	keyIdx, err := schema.Indices(schema.Key)
+	if err != nil {
+		return nil, err
+	}
+	return &shardTable{name: name, schema: shards[0].Schema(), keyIdx: keyIdx, shards: shards}, nil
+}
+
+// shardTable implements Table over N key-partitioned rel.Tables.
+type shardTable struct {
+	name   string
+	schema rel.Schema
+	keyIdx []int
+	shards []*rel.Table
+}
+
+var _ Table = (*shardTable)(nil)
+
+// shardOf maps an encoded key to a partition by FNV-1a. The hash must be
+// stable across processes: the differential tests replay one workload on
+// both engines and rely on deterministic routing.
+func shardOf(key string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+func (t *shardTable) forKey(key []rel.Value) *rel.Table {
+	return t.shards[shardOf(rel.TupleKey(key), len(t.shards))]
+}
+
+func (t *shardTable) forRow(row rel.Tuple) *rel.Table {
+	return t.shards[shardOf(rel.KeyOf(row, t.keyIdx), len(t.shards))]
+}
+
+// Name implements Table.
+func (t *shardTable) Name() string { return t.name }
+
+// Schema implements Table.
+func (t *shardTable) Schema() rel.Schema { return t.schema }
+
+// Len implements Table.
+func (t *shardTable) Len() int {
+	n := 0
+	for _, sh := range t.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// LenPre implements Table.
+func (t *shardTable) LenPre() int {
+	n := 0
+	for _, sh := range t.shards {
+		n += sh.LenPre()
+	}
+	return n
+}
+
+// Rows implements Table: shard contents concatenated in shard order.
+func (t *shardTable) Rows(s rel.State) []rel.Tuple {
+	return t.Scan(s)
+}
+
+// Scan implements Table: shard scans concatenated in shard order.
+func (t *shardTable) Scan(s rel.State) []rel.Tuple {
+	parts := make([][]rel.Tuple, len(t.shards))
+	total := 0
+	for i, sh := range t.shards {
+		parts[i] = sh.Scan(s)
+		total += len(parts[i])
+	}
+	out := make([]rel.Tuple, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Relation implements Table.
+func (t *shardTable) Relation(s rel.State) *rel.Relation {
+	r := rel.NewRelation(t.schema)
+	for _, sh := range t.shards {
+		r.Tuples = append(r.Tuples, sh.Rows(s)...)
+	}
+	return r
+}
+
+// Get implements Table: routed to the owning shard.
+func (t *shardTable) Get(s rel.State, key []rel.Value) (rel.Tuple, bool) {
+	return t.forKey(key).Get(s, key)
+}
+
+// Lookup implements Table: per-shard probes merged in shard order.
+func (t *shardTable) Lookup(s rel.State, attrs []string, vals []rel.Value) ([]rel.Tuple, error) {
+	var out []rel.Tuple
+	for _, sh := range t.shards {
+		rows, err := sh.Lookup(s, attrs, vals)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// LookupInto implements Table: per-shard probes appended in shard order,
+// threading the shared buffers through.
+func (t *shardTable) LookupInto(s rel.State, pl rel.PrepLookup, vals []rel.Value, keyBuf []byte, out []rel.Tuple) ([]rel.Tuple, []byte, error) {
+	var err error
+	for _, sh := range t.shards {
+		out, keyBuf, err = sh.LookupInto(s, pl, vals, keyBuf, out)
+		if err != nil {
+			return out, keyBuf, err
+		}
+	}
+	return out, keyBuf, nil
+}
+
+// IndexCard implements Table: (p, n) summed over the shards. Since the
+// shards partition the rows this equals the unpartitioned statistics, so
+// both evaluators make the same index-vs-scan decisions on every backend.
+func (t *shardTable) IndexCard(s rel.State, attrs []string, vals []rel.Value) (p, n int, err error) {
+	for _, sh := range t.shards {
+		sp, sn, err := sh.IndexCard(s, attrs, vals)
+		if err != nil {
+			return 0, 0, err
+		}
+		p += sp
+		n += sn
+	}
+	return p, n, nil
+}
+
+// Insert implements Table: routed to the owning shard. A width-invalid
+// row cannot be keyed; shard 0 reports the schema error in that case.
+func (t *shardTable) Insert(row rel.Tuple) error {
+	if len(row) != len(t.schema.Attrs) {
+		return t.shards[0].Insert(row)
+	}
+	return t.forRow(row).Insert(row)
+}
+
+// InsertIfAbsent implements Table: routed to the owning shard, which also
+// detects key conflicts (same key always routes to the same shard).
+func (t *shardTable) InsertIfAbsent(row rel.Tuple) (bool, error) {
+	if len(row) != len(t.schema.Attrs) {
+		return t.shards[0].InsertIfAbsent(row)
+	}
+	return t.forRow(row).InsertIfAbsent(row)
+}
+
+// DeleteKey implements Table: routed to the owning shard.
+func (t *shardTable) DeleteKey(key []rel.Value) bool {
+	return t.forKey(key).DeleteKey(key)
+}
+
+// DeleteWhere implements Table: fanned out over all shards; removal
+// counts sum. Index errors are schema-determined, so either every shard
+// fails identically before mutating or none does.
+func (t *shardTable) DeleteWhere(attrs []string, vals []rel.Value) (int, error) {
+	n := 0
+	for _, sh := range t.shards {
+		sn, err := sh.DeleteWhere(attrs, vals)
+		if err != nil {
+			return n, err
+		}
+		n += sn
+	}
+	return n, nil
+}
+
+// UpdateWhere implements Table: fanned out over all shards; update counts
+// sum. Validation errors (key-attribute update, unknown attribute) are
+// schema-determined and reported before any shard mutates.
+func (t *shardTable) UpdateWhere(attrs []string, vals []rel.Value, setAttrs []string, setVals []rel.Value) (int, error) {
+	n := 0
+	for _, sh := range t.shards {
+		sn, err := sh.UpdateWhere(attrs, vals, setAttrs, setVals)
+		if err != nil {
+			return n, err
+		}
+		n += sn
+	}
+	return n, nil
+}
+
+// UpdateKey implements Table: routed to the owning shard.
+func (t *shardTable) UpdateKey(key []rel.Value, setAttrs []string, setVals []rel.Value) (bool, error) {
+	return t.forKey(key).UpdateKey(key, setAttrs, setVals)
+}
+
+// BeginEpoch implements Table: every shard snapshots its pre-state.
+func (t *shardTable) BeginEpoch() {
+	for _, sh := range t.shards {
+		sh.BeginEpoch()
+	}
+}
+
+// EndEpoch implements Table.
+func (t *shardTable) EndEpoch() {
+	for _, sh := range t.shards {
+		sh.EndEpoch()
+	}
+}
+
+// InEpoch implements Table. Epoch state is only ever toggled through the
+// shardTable, so the shards agree; shard 0 answers for all.
+func (t *shardTable) InEpoch() bool { return t.shards[0].InEpoch() }
