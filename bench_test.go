@@ -19,8 +19,11 @@ package idivm_test
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 
+	"idivm/internal/algebra"
 	"idivm/internal/bsma"
 	"idivm/internal/harness"
 	"idivm/internal/ivm"
@@ -50,11 +53,28 @@ func benchBSMAParams() bsma.Params {
 // (or SPJ) view in the given mode. workers > 1 runs the Δ-script on the
 // step-DAG scheduler; access counts are identical either way, so the
 // accesses/op column is schedule-independent.
+// benchOpWorkers reads $IDIVM_OP_WORKERS, the bench-smoke knob that grants
+// every maintenance round intra-operator workers (0 = sequential kernels).
+// Access counts are invariant under the knob, so the gated accesses/op
+// column is unaffected; only ns/op moves.
+func benchOpWorkers() int {
+	v := os.Getenv("IDIVM_OP_WORKERS")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		panic(fmt.Sprintf("bad IDIVM_OP_WORKERS %q", v))
+	}
+	return n
+}
+
 func benchIVM(b *testing.B, p workload.Params, agg bool, mode ivm.Mode, workers int) {
 	b.Helper()
 	ds := workload.Build(p)
 	sys := ivm.NewSystem(ds.DB)
 	sys.Workers = workers
+	sys.OpWorkers = benchOpWorkers()
 	plan := ds.SPJPlan()
 	if agg {
 		plan = ds.AggPlan()
@@ -243,6 +263,63 @@ func BenchmarkSPJNonConditionalUpdate(b *testing.B) {
 	b.Run("id", func(b *testing.B) { benchIVM(b, p, false, ivm.ModeID, 1) })
 	b.Run("tuple", func(b *testing.B) { benchIVM(b, p, false, ivm.ModeTuple, 1) })
 	b.Run("parallel", func(b *testing.B) { benchIVM(b, p, false, ivm.ModeID, benchWorkers) })
+}
+
+// opBenchEnv grants a database environment intra-operator workers,
+// engaging the partition-parallel kernels in compiled plans.
+type opBenchEnv struct {
+	algebra.Env
+	w int
+}
+
+func (e *opBenchEnv) OpWorkers() int { return e.w }
+
+// BenchmarkScanHeavyRecompute measures full recomputation of the Figure 1b
+// (SPJ) and Figure 5b (aggregate) views over a ~200k-row devices_parts
+// instance through the compiled plans — the scan/join/γ-bound regime the
+// partition-parallel operator kernels target. The seq and op4 rows compute
+// identical results with identical access counts by construction; the
+// ns/op delta between them is the point, and it only materializes on a
+// partitioned engine (run with IDIVM_ENGINE=sharded:8 — a single mem part
+// leaves scans sequential).
+func BenchmarkScanHeavyRecompute(b *testing.B) {
+	p := workload.Defaults(20000) // 20k parts/devices, fanout 10 → ~200k dp rows
+	ds := workload.Build(p)
+	views := []struct {
+		name string
+		plan algebra.Node
+	}{
+		{"spj", ds.SPJPlan()},
+		{"agg", ds.AggPlan()},
+	}
+	for _, v := range views {
+		compiled, err := algebra.Compile(v.plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range []struct {
+			name string
+			n    int
+		}{{"seq", 1}, {"op4", 4}} {
+			b.Run(v.name+"/"+w.name, func(b *testing.B) {
+				env := &opBenchEnv{Env: ds.DB, w: w.n}
+				var accesses, rows int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ds.DB.Counter().Reset()
+					r, err := compiled.Run(env)
+					if err != nil {
+						b.Fatal(err)
+					}
+					accesses += ds.DB.Counter().Total()
+					rows += int64(r.Len())
+				}
+				b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
+				b.ReportMetric(float64(rows)/float64(b.N), "rows/op")
+			})
+		}
+	}
 }
 
 // benchIVMOpts is benchIVM with generation options, for ablations.

@@ -12,9 +12,10 @@
 // testing.B.ReportMetric columns such as accesses/op. The regression gate
 // compares one metric — by default accesses/op, which is a deterministic
 // count in this repository, unlike ns/op — and exits non-zero when the
-// current value exceeds baseline*(1+threshold). Benchmarks present only on
-// one side are reported but do not fail the gate, so benchmarks can be
-// added before the baseline is regenerated.
+// current value exceeds baseline*(1+threshold). Each report line also shows
+// the ns/op delta as a purely informational column; wall-clock never gates.
+// Benchmarks present only on one side are reported but do not fail the
+// gate, so benchmarks can be added before the baseline is regenerated.
 package main
 
 import (
@@ -96,9 +97,23 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 	return out, nil
 }
 
+// nsPerOpColumn renders the informational ns/op comparison appended to each
+// gated line. Wall-clock is noisy and machine-dependent, so it never gates —
+// the column exists so speedups from parallel kernels are visible in the
+// same report that pins the deterministic access counts.
+func nsPerOpColumn(base, cur Benchmark) string {
+	want, okB := base.Metrics["ns/op"]
+	got, okC := cur.Metrics["ns/op"]
+	if !okB || !okC || want == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  [ns/op %.0f vs %.0f, %+.1f%%]", got, want, 100*(got/want-1))
+}
+
 // compare gates current against baseline on one metric. It returns
 // human-readable report lines and whether any benchmark regressed past the
-// threshold.
+// threshold. Each line carries a trailing informational ns/op column that
+// never influences the gate.
 func compare(baseline, current []Benchmark, metric string, threshold float64) ([]string, bool) {
 	cur := make(map[string]Benchmark, len(current))
 	for _, b := range current {
@@ -121,21 +136,22 @@ func compare(baseline, current []Benchmark, metric string, threshold float64) ([
 			lines = append(lines, fmt.Sprintf("MISSING  %s: current run lacks metric %q", base.Name, metric))
 			continue
 		}
+		ns := nsPerOpColumn(base, c)
 		switch {
 		case want == 0:
 			if got != 0 {
 				regressed = true
-				lines = append(lines, fmt.Sprintf("REGRESS  %s: %s %.1f, baseline 0", base.Name, metric, got))
+				lines = append(lines, fmt.Sprintf("REGRESS  %s: %s %.1f, baseline 0%s", base.Name, metric, got, ns))
 			}
 		case got > want*(1+threshold):
 			regressed = true
-			lines = append(lines, fmt.Sprintf("REGRESS  %s: %s %.1f vs baseline %.1f (+%.1f%%, limit +%.0f%%)",
-				base.Name, metric, got, want, 100*(got/want-1), 100*threshold))
+			lines = append(lines, fmt.Sprintf("REGRESS  %s: %s %.1f vs baseline %.1f (+%.1f%%, limit +%.0f%%)%s",
+				base.Name, metric, got, want, 100*(got/want-1), 100*threshold, ns))
 		case got < want:
-			lines = append(lines, fmt.Sprintf("IMPROVE  %s: %s %.1f vs baseline %.1f (%.1f%%)",
-				base.Name, metric, got, want, 100*(got/want-1)))
+			lines = append(lines, fmt.Sprintf("IMPROVE  %s: %s %.1f vs baseline %.1f (%.1f%%)%s",
+				base.Name, metric, got, want, 100*(got/want-1), ns))
 		default:
-			lines = append(lines, fmt.Sprintf("OK       %s: %s %.1f vs baseline %.1f", base.Name, metric, got, want))
+			lines = append(lines, fmt.Sprintf("OK       %s: %s %.1f vs baseline %.1f%s", base.Name, metric, got, want, ns))
 		}
 	}
 	for _, b := range current {

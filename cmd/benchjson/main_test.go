@@ -71,6 +71,28 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+// The ns/op column is informational: it appears on compared lines but a
+// huge wall-clock swing alone must never trip the gate.
+func TestCompareNsPerOpColumnNeverGates(t *testing.T) {
+	slow := Benchmark{Name: "A", Iterations: 1, Metrics: map[string]float64{"accesses/op": 100, "ns/op": 500}}
+	baseline := []Benchmark{mk("A", 100)} // ns/op 1
+	lines, regressed := compare(baseline, []Benchmark{slow}, "accesses/op", 0.20)
+	if regressed {
+		t.Fatalf("ns/op 500x must not gate:\n%s", strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "[ns/op 500 vs 1, +49900.0%]") {
+		t.Errorf("ns/op column missing or wrong:\n%s", joined)
+	}
+
+	// Lines without ns/op on both sides carry no column.
+	noNs := Benchmark{Name: "A", Iterations: 1, Metrics: map[string]float64{"accesses/op": 100}}
+	lines, _ = compare(baseline, []Benchmark{noNs}, "accesses/op", 0.20)
+	if strings.Contains(strings.Join(lines, "\n"), "[ns/op") {
+		t.Errorf("one-sided ns/op must render no column:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
 func TestCompareNoRegression(t *testing.T) {
 	baseline := []Benchmark{mk("A", 100)}
 	current := []Benchmark{mk("A", 80)}

@@ -11,9 +11,9 @@
 //     used instead;
 //   - bindname — fmt.Sprintf calls fabricating "base:…"/"cache:…" binding
 //     names outside the blessed constructors (BaseBindName, freshCache);
-//   - gostmt — naked `go` statements in internal/ivm outside the blessed
-//     scheduler file (sched.go): maintenance concurrency must flow through
-//     the bounded worker pool;
+//   - gostmt — naked `go` statements in internal/ivm and internal/algebra
+//     outside the blessed pool files (sched.go, pool.go): maintenance and
+//     operator concurrency must flow through the bounded worker pools;
 //   - tabletype — references to the concrete table type (rel.Table,
 //     rel.NewTable, rel.MustNewTable) outside internal/rel and
 //     internal/storage: everything above the storage boundary must reach

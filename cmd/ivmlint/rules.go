@@ -65,9 +65,14 @@ var tableTypeForbidden = map[string]bool{
 	"MustNewTable": true,
 }
 
-// goStmtExemptFile is the one file per linted package allowed to launch
-// goroutines: the scheduler owning the worker pool.
-const goStmtExemptFile = "sched.go"
+// goStmtExemptFiles are the blessed goroutine-launch files, one per linted
+// package: the Δ-script scheduler owning internal/ivm's worker pool and
+// the operator pool owning internal/algebra's. Everything else must route
+// concurrency through them.
+var goStmtExemptFiles = map[string]bool{
+	"sched.go": true, // internal/ivm: step-DAG scheduler + view parallel-for
+	"pool.go":  true, // internal/algebra: intra-operator kernel pool
+}
 
 // bindNameConstructors are the only functions allowed to build executor
 // binding names from format strings.
@@ -227,9 +232,9 @@ func checkBindName(p *pkgInfo, f *ast.File) []finding {
 	return out
 }
 
-// checkGoStmt flags `go` statements outside the blessed scheduler file.
+// checkGoStmt flags `go` statements outside the blessed pool files.
 func checkGoStmt(p *pkgInfo, f *ast.File, allowed map[string]map[int]bool) []finding {
-	if filepath.Base(p.Fset.Position(f.Pos()).Filename) == goStmtExemptFile {
+	if goStmtExemptFiles[filepath.Base(p.Fset.Position(f.Pos()).Filename)] {
 		return nil
 	}
 	var out []finding
@@ -243,8 +248,9 @@ func checkGoStmt(p *pkgInfo, f *ast.File, allowed map[string]map[int]bool) []fin
 			return true
 		}
 		out = append(out, finding{Pos: pos, Rule: "gostmt",
-			Msg: "goroutine launched outside the scheduler; route concurrency through the " +
-				"worker pool in " + goStmtExemptFile + " (or annotate with //ivmlint:allow gostmt)"})
+			Msg: "goroutine launched outside the blessed pool files (sched.go, pool.go); " +
+				"route concurrency through the worker pool " +
+				"(or annotate with //ivmlint:allow gostmt)"})
 		return true
 	})
 	return out
@@ -295,7 +301,8 @@ func rulesFor(mod, importPath string) ruleSet {
 		DeepEqual: rel == "internal/ivm" || rel == "internal/rel" ||
 			strings.HasPrefix(rel, "internal/ivm/") || strings.HasPrefix(rel, "internal/rel/"),
 		BindName: true,
-		GoStmt:   rel == "internal/ivm" || strings.HasPrefix(rel, "internal/ivm/"),
+		GoStmt: rel == "internal/ivm" || strings.HasPrefix(rel, "internal/ivm/") ||
+			rel == "internal/algebra" || strings.HasPrefix(rel, "internal/algebra/"),
 		TableType: !(rel == "internal/rel" || strings.HasPrefix(rel, "internal/rel/") ||
 			rel == "internal/storage" || strings.HasPrefix(rel, "internal/storage/")),
 	}

@@ -1,0 +1,7 @@
+package fixture
+
+// A goroutine launched from a kernel file like compile.go must be routed
+// through the pool instead. Expected finding: gostmt.
+func KernelGoroutine(ch chan int) {
+	go func() { ch <- 9 }()
+}

@@ -1,0 +1,8 @@
+package fixture
+
+// Goroutines in a file named pool.go are exempt from the gostmt rule:
+// this is the fixture's stand-in for the algebra operator pool's blessed
+// file. Nothing here may be flagged.
+func BlessedPoolGoroutine(ch chan int) {
+	go func() { ch <- 7 }()
+}

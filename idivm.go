@@ -62,11 +62,20 @@ func ShardedEngine(n int) Engine { return storage.NewSharded(n) }
 type Option func(*openConfig)
 
 type openConfig struct {
-	engine Engine
+	engine    Engine
+	opWorkers int
 }
 
 // WithEngine selects the storage backend (default MemEngine()).
 func WithEngine(e Engine) Option { return func(c *openConfig) { c.engine = e } }
+
+// WithOpWorkers grants every compiled maintenance step n workers of
+// intra-operator parallelism: partitioned scans and filters, parallel join
+// probes and hash builds, and partitioned group-by pre-aggregation. Most
+// effective combined with ShardedEngine, whose partitions the scan kernels
+// split along. 0 or 1 (the default) keeps operators sequential; results
+// and access counts are identical either way.
+func WithOpWorkers(n int) Option { return func(c *openConfig) { c.opWorkers = n } }
 
 // Open creates an empty database.
 func Open(opts ...Option) *DB {
@@ -75,7 +84,9 @@ func Open(opts ...Option) *DB {
 		o(&cfg)
 	}
 	d := db.NewWith(cfg.engine)
-	return &DB{d: d, sys: ivm.NewSystem(d)}
+	sys := ivm.NewSystem(d)
+	sys.OpWorkers = cfg.opWorkers
+	return &DB{d: d, sys: sys}
 }
 
 // Columns is a convenience constructor for column name lists.
@@ -268,6 +279,10 @@ type MaintenanceStats struct {
 // step-DAG scheduler and maintains independent views concurrently.
 // Results and access counts are identical either way.
 func (x *DB) SetWorkers(n int) { x.sys.Workers = n }
+
+// SetOpWorkers adjusts the intra-operator worker budget after Open; see
+// WithOpWorkers.
+func (x *DB) SetOpWorkers(n int) { x.sys.OpWorkers = n }
 
 // Maintain incrementally brings every registered view up to date with the
 // base-table modifications since the previous call, and clears the log.

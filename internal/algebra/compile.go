@@ -17,6 +17,13 @@
 // result buffers), so a single ExecPlan must not be Run concurrently with
 // itself. The Δ-script executor satisfies this: each step runs at most
 // once per round, and concurrently scheduled steps hold distinct plans.
+//
+// When the environment implements OpParallelEnv (pool.go) the hot
+// strategies additionally run partition-parallel kernels (kernels.go):
+// parts or chunks are processed by a bounded worker pool, each worker on
+// private scratch and a private counter shard, and merged in a fixed
+// order — output, reports and counters stay byte-identical to the
+// sequential run.
 package algebra
 
 import (
@@ -122,6 +129,11 @@ func (c *cStored) run(env Env) (*rel.Relation, error) {
 	t, err := env.Table(c.table)
 	if err != nil {
 		return nil, err
+	}
+	if w := opWorkers(env); w > 1 {
+		if out, ok := scanPartsParallel(c.sch, t, c.st, w); ok {
+			return out, nil
+		}
 	}
 	return aliasTuples(c.sch, t.Scan(c.st)), nil
 }
@@ -232,6 +244,11 @@ func (c *cStoredSelect) run(env Env) (*rel.Relation, error) {
 					out.Add(r)
 				}
 			}
+			return out, nil
+		}
+	}
+	if w := opWorkers(env); w > 1 {
+		if out, ok := c.scanFilterParallel(t, w); ok {
 			return out, nil
 		}
 	}
@@ -524,6 +541,9 @@ func (c *cJoin) run(env Env) (*rel.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
+		if w := opWorkers(env); w > 1 && len(left.Tuples) >= MinOpRows {
+			return c.probeParallel(t, left.Tuples, true, w)
+		}
 		for _, lt := range left.Tuples {
 			for i, x := range c.lidx {
 				c.probe.valsBuf[i] = lt[x]
@@ -547,6 +567,9 @@ func (c *cJoin) run(env Env) (*rel.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
+		if w := opWorkers(env); w > 1 && len(right.Tuples) >= MinOpRows {
+			return c.probeParallel(t, right.Tuples, false, w)
+		}
 		for _, rt := range right.Tuples {
 			for i, x := range c.ridx {
 				c.probe.valsBuf[i] = rt[x]
@@ -566,6 +589,9 @@ func (c *cJoin) run(env Env) (*rel.Relation, error) {
 		}
 		return out, nil
 	case joinHash:
+		if w := opWorkers(env); w > 1 && len(left.Tuples)+len(right.Tuples) >= MinOpRows {
+			return c.hashParallel(left.Tuples, right.Tuples, w)
+		}
 		buckets := make(map[string][]rel.Tuple, len(right.Tuples))
 		buf := c.keyBuf
 		for _, rt := range right.Tuples {
@@ -749,6 +775,9 @@ func (c *cSemi) run(env Env) (*rel.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
+		if w := opWorkers(env); w > 1 && len(left.Tuples) >= MinOpRows {
+			return c.probeRightParallel(t, left.Tuples, w)
+		}
 		for _, lt := range left.Tuples {
 			for i, x := range c.lidx {
 				c.probe.valsBuf[i] = lt[x]
@@ -778,6 +807,10 @@ func (c *cSemi) run(env Env) (*rel.Relation, error) {
 			buf = rel.AppendKey(buf[:0], rt, c.ridx)
 			k := string(buf)
 			buckets[k] = append(buckets[k], rt)
+		}
+		if w := opWorkers(env); w > 1 && len(left.Tuples) >= MinOpRows {
+			c.keyBuf = buf
+			return c.hashProbeParallel(left.Tuples, buckets, w), nil
 		}
 		for _, lt := range left.Tuples {
 			buf = rel.AppendKey(buf[:0], lt, c.lidx)
@@ -857,6 +890,9 @@ func (c *cGroupBy) run(env Env) (*rel.Relation, error) {
 	child, err := c.child.run(env)
 	if err != nil {
 		return nil, err
+	}
+	if w := opWorkers(env); w > 1 && len(child.Tuples) >= MinOpRows {
+		return c.groupParallel(child.Tuples, w)
 	}
 	type group struct {
 		keyVals rel.Tuple

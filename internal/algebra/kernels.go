@@ -1,0 +1,388 @@
+// Partition-parallel operator kernels: the OpWorkers>1 variants of the
+// hot compiled strategies. Every kernel follows one discipline:
+//
+//   - work splits into partitions that exist independently of the worker
+//     count where semantics demand it (group-by key routing) and into
+//     contiguous chunks where order alone matters (scans, probes);
+//   - each worker owns its slot of a results slice, a private probe/arena
+//     scratch, and a private CostCounter shard obtained via WithCounter;
+//   - merges concatenate per-chunk results in chunk (or part) order and
+//     fold counter shards in the same fixed order.
+//
+// Chunk-order concatenation reproduces the sequential iteration order
+// tuple-for-tuple, and Handle charges are per-call sums, so a parallel run
+// is byte-identical to the sequential run in output, per-step reports and
+// access counters — the property the differential matrix in internal/ivm
+// pins across engines under -race. Goroutines are only ever launched via
+// pool.go's parallelFor; this file stays free of go statements (ivmlint).
+
+package algebra
+
+import (
+	"sort"
+
+	"idivm/internal/rel"
+	"idivm/internal/storage"
+)
+
+// scanPartsParallel scans a partitioned stored table part-by-part on the
+// worker pool, concatenating in part order. It declines (ok=false) on
+// unpartitioned tables and small inputs, where flat Scan wins.
+func scanPartsParallel(sch rel.Schema, t *storage.Handle, st rel.State, w int) (*rel.Relation, bool) {
+	np := t.Parts()
+	if np < 2 || t.Len() < MinOpRows {
+		return nil, false
+	}
+	parts := make([][]rel.Tuple, np)
+	shards := make([]rel.CostCounter, np)
+	parallelFor(w, np, func(i int) {
+		parts[i] = t.WithCounter(&shards[i]).ScanPart(st, i)
+	})
+	total := 0
+	for i := range parts {
+		t.Merge(shards[i])
+		total += len(parts[i])
+	}
+	out := make([]rel.Tuple, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return aliasTuples(sch, out), true
+}
+
+// scanFilterParallel is the parallel full-scan path of cStoredSelect:
+// per-part scan+filter on partitioned backends, chunked filtering of one
+// flat scan otherwise. It declines on small inputs.
+func (c *cStoredSelect) scanFilterParallel(t *storage.Handle, w int) (*rel.Relation, bool) {
+	if t.Len() < MinOpRows {
+		return nil, false
+	}
+	var kept [][]rel.Tuple
+	if np := t.Parts(); np > 1 {
+		kept = make([][]rel.Tuple, np)
+		shards := make([]rel.CostCounter, np)
+		parallelFor(w, np, func(i int) {
+			rows := t.WithCounter(&shards[i]).ScanPart(c.st, i)
+			var kf []rel.Tuple
+			for _, r := range rows {
+				if c.full.EvalBool(r) {
+					kf = append(kf, r)
+				}
+			}
+			kept[i] = kf
+		})
+		for i := range shards {
+			t.Merge(shards[i])
+		}
+	} else {
+		rows := t.Scan(c.st) // charged on the caller's counter, like sequential
+		spans := chunkSpans(len(rows), w)
+		kept = make([][]rel.Tuple, len(spans))
+		parallelFor(w, len(spans), func(i int) {
+			var kf []rel.Tuple
+			for _, r := range rows[spans[i].lo:spans[i].hi] {
+				if c.full.EvalBool(r) {
+					kf = append(kf, r)
+				}
+			}
+			kept[i] = kf
+		})
+	}
+	total := 0
+	for _, kf := range kept {
+		total += len(kf)
+	}
+	out := rel.NewRelation(c.sch)
+	out.Tuples = make([]rel.Tuple, 0, total)
+	for _, kf := range kept {
+		out.Tuples = append(out.Tuples, kf...)
+	}
+	return out, true
+}
+
+// clone derives a worker-private probe: the immutable prepared state
+// (signature, literal values, residual predicate) is shared, the mutable
+// scratch (value/key/result buffers) is fresh. An ExecPlan owns its
+// scratch, so concurrent probes must each hold a clone.
+func (p *cProbe) clone() *cProbe {
+	q := &cProbe{
+		table:    p.table,
+		st:       p.st,
+		prep:     p.prep,
+		nJoin:    p.nJoin,
+		litVals:  p.litVals,
+		residual: p.residual,
+		valsBuf:  make([]rel.Value, p.nJoin+len(p.litVals)),
+	}
+	copy(q.valsBuf[p.nJoin:], p.litVals)
+	return q
+}
+
+// probeParallel executes joinProbeRight/joinProbeLeft over chunks of the
+// driving (derived) side. drivingLeft reports whether the driving tuples
+// are the left input (probing the stored right).
+func (c *cJoin) probeParallel(t *storage.Handle, driving []rel.Tuple, drivingLeft bool, w int) (*rel.Relation, error) {
+	spans := chunkSpans(len(driving), w)
+	outs := make([][]rel.Tuple, len(spans))
+	shards := make([]rel.CostCounter, len(spans))
+	errs := make([]error, len(spans))
+	idx := c.lidx
+	if !drivingLeft {
+		idx = c.ridx
+	}
+	parallelFor(w, len(spans), func(i int) {
+		pr := c.probe.clone()
+		th := t.WithCounter(&shards[i])
+		arena := tupleArena{w: c.lw + c.rw}
+		var out []rel.Tuple
+		for _, dt := range driving[spans[i].lo:spans[i].hi] {
+			for j, x := range idx {
+				pr.valsBuf[j] = dt[x]
+			}
+			if hasNull(pr.valsBuf[:pr.nJoin]) {
+				continue
+			}
+			rows, err := pr.lookup(th)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for _, mt := range rows {
+				lt, rt := dt, mt
+				if !drivingLeft {
+					lt, rt = mt, dt
+				}
+				if c.residual == nil || c.residual.EvalBool(lt, rt) {
+					nt := arena.next()
+					copy(nt, lt)
+					copy(nt[c.lw:], rt)
+					out = append(out, nt)
+				}
+			}
+		}
+		outs[i] = out
+	})
+	for i := range shards {
+		t.Merge(shards[i])
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return concatRelation(c.sch, outs), nil
+}
+
+// hashParallel executes joinHash with a parallel partition-local build and
+// a parallel chunked probe. Both inputs are already-materialized derived
+// relations, so no stored access (and no counter) is involved.
+func (c *cJoin) hashParallel(left, right []rel.Tuple, w int) (*rel.Relation, error) {
+	// Build: chunk-local bucket maps, merged in chunk order. Within one
+	// key the merged bucket concatenates chunk sublists in chunk order,
+	// which is exactly the sequential build order.
+	bspans := chunkSpans(len(right), w)
+	locals := make([]map[string][]rel.Tuple, len(bspans))
+	parallelFor(w, len(bspans), func(i int) {
+		local := make(map[string][]rel.Tuple, bspans[i].hi-bspans[i].lo)
+		var buf []byte
+		for _, rt := range right[bspans[i].lo:bspans[i].hi] {
+			buf = rel.AppendKey(buf[:0], rt, c.ridx)
+			k := string(buf)
+			local[k] = append(local[k], rt)
+		}
+		locals[i] = local
+	})
+	buckets := make(map[string][]rel.Tuple, len(right))
+	for _, local := range locals {
+		for k, b := range local { //ivmlint:allow maprange — bucket contents keep chunk order; key order is irrelevant
+			buckets[k] = append(buckets[k], b...)
+		}
+	}
+	// Probe: chunked left side against the shared read-only bucket map.
+	pspans := chunkSpans(len(left), w)
+	outs := make([][]rel.Tuple, len(pspans))
+	parallelFor(w, len(pspans), func(i int) {
+		arena := tupleArena{w: c.lw + c.rw}
+		var buf []byte
+		var out []rel.Tuple
+		for _, lt := range left[pspans[i].lo:pspans[i].hi] {
+			buf = rel.AppendKey(buf[:0], lt, c.lidx)
+			for _, rt := range buckets[string(buf)] {
+				if c.residual == nil || c.residual.EvalBool(lt, rt) {
+					nt := arena.next()
+					copy(nt, lt)
+					copy(nt[c.lw:], rt)
+					out = append(out, nt)
+				}
+			}
+		}
+		outs[i] = out
+	})
+	return concatRelation(c.sch, outs), nil
+}
+
+// probeRightParallel executes semiProbeRight over chunks of the left
+// input. Each left tuple's keep/drop decision is independent, so chunking
+// is safe; kept tuples are appended unchanged, as in the sequential loop.
+func (c *cSemi) probeRightParallel(t *storage.Handle, left []rel.Tuple, w int) (*rel.Relation, error) {
+	spans := chunkSpans(len(left), w)
+	outs := make([][]rel.Tuple, len(spans))
+	shards := make([]rel.CostCounter, len(spans))
+	errs := make([]error, len(spans))
+	parallelFor(w, len(spans), func(i int) {
+		pr := c.probe.clone()
+		th := t.WithCounter(&shards[i])
+		var out []rel.Tuple
+		for _, lt := range left[spans[i].lo:spans[i].hi] {
+			for j, x := range c.lidx {
+				pr.valsBuf[j] = lt[x]
+			}
+			matched := false
+			if !hasNull(pr.valsBuf[:pr.nJoin]) {
+				rows, err := pr.lookup(th)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				matched = c.anyMatch(lt, rows)
+			}
+			if matched == c.keep {
+				out = append(out, lt)
+			}
+		}
+		outs[i] = out
+	})
+	for i := range shards {
+		t.Merge(shards[i])
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return concatRelation(c.sch, outs), nil
+}
+
+// hashProbeParallel is the chunked probe phase of semiHash against an
+// already-built bucket map (derived inputs; no stored access).
+func (c *cSemi) hashProbeParallel(left []rel.Tuple, buckets map[string][]rel.Tuple, w int) *rel.Relation {
+	spans := chunkSpans(len(left), w)
+	outs := make([][]rel.Tuple, len(spans))
+	parallelFor(w, len(spans), func(i int) {
+		var buf []byte
+		var out []rel.Tuple
+		for _, lt := range left[spans[i].lo:spans[i].hi] {
+			buf = rel.AppendKey(buf[:0], lt, c.lidx)
+			if c.anyMatch(lt, buckets[string(buf)]) == c.keep {
+				out = append(out, lt)
+			}
+		}
+		outs[i] = out
+	})
+	return concatRelation(c.sch, outs)
+}
+
+// maxGroupParts caps the key-partition count of the parallel γ so routing
+// tags fit a byte; more partitions than workers buys nothing anyway.
+const maxGroupParts = 64
+
+// groupParallel executes cGroupBy by key-partitioned pre-aggregation:
+// tuples are routed to partitions by the same FNV-1a hash the sharded
+// engine uses, every group therefore folds wholly inside one partition in
+// original input order — which keeps non-associative float SUM/AVG
+// byte-identical to the sequential fold — and the merged groups are
+// ordered by first appearance, exactly like the sequential map+order pair.
+func (c *cGroupBy) groupParallel(tuples []rel.Tuple, w int) (*rel.Relation, error) {
+	np := w
+	if np > maxGroupParts {
+		np = maxGroupParts
+	}
+	// Phase 1: route every tuple by hashed group key (chunk-parallel).
+	route := make([]uint8, len(tuples))
+	spans := chunkSpans(len(tuples), w)
+	parallelFor(w, len(spans), func(i int) {
+		var buf []byte
+		for j := spans[i].lo; j < spans[i].hi; j++ {
+			buf = rel.AppendKey(buf[:0], tuples[j], c.keyIdx)
+			route[j] = uint8(storage.ShardOf(string(buf), np))
+		}
+	})
+	// Phase 2: fold each key partition independently, in input order.
+	type pgroup struct {
+		keyVals  rel.Tuple
+		states   []aggState
+		firstIdx int
+	}
+	partGroups := make([][]*pgroup, np)
+	parallelFor(w, np, func(p int) {
+		byKey := make(map[string]*pgroup)
+		var order []*pgroup
+		var buf []byte
+		for j, t := range tuples {
+			if route[j] != uint8(p) {
+				continue
+			}
+			buf = rel.AppendKey(buf[:0], t, c.keyIdx)
+			grp, ok := byKey[string(buf)]
+			if !ok {
+				kv := make(rel.Tuple, len(c.keyIdx))
+				for i, x := range c.keyIdx {
+					kv[i] = t[x]
+				}
+				states := make([]aggState, len(c.fns))
+				for i, fn := range c.fns {
+					states[i] = aggState{fn: fn, sum: rel.Null(), best: rel.Null()}
+				}
+				grp = &pgroup{keyVals: kv, states: states, firstIdx: j}
+				byKey[string(buf)] = grp
+				order = append(order, grp)
+			}
+			for i := range c.fns {
+				if c.args[i] == nil {
+					grp.states[i].add(rel.Null(), true)
+				} else {
+					grp.states[i].add(c.args[i].Eval(t), false)
+				}
+			}
+		}
+		partGroups[p] = order
+	})
+	// Phase 3: merge on first appearance — the sequential group order.
+	total := 0
+	for _, g := range partGroups {
+		total += len(g)
+	}
+	all := make([]*pgroup, 0, total)
+	for _, g := range partGroups {
+		all = append(all, g...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].firstIdx < all[j].firstIdx })
+	out := rel.NewRelation(c.sch)
+	w2 := len(c.keyIdx) + len(c.fns)
+	backing := make([]rel.Value, len(all)*w2)
+	for _, grp := range all {
+		nt := backing[:w2:w2]
+		backing = backing[w2:]
+		copy(nt, grp.keyVals)
+		for i := range grp.states {
+			nt[len(c.keyIdx)+i] = grp.states[i].result()
+		}
+		out.Add(nt)
+	}
+	return out, nil
+}
+
+// concatRelation assembles per-chunk outputs into one relation in chunk
+// order — the deterministic merge every chunked kernel ends with.
+func concatRelation(sch rel.Schema, outs [][]rel.Tuple) *rel.Relation {
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	r := rel.NewRelation(sch)
+	r.Tuples = make([]rel.Tuple, 0, total)
+	for _, o := range outs {
+		r.Tuples = append(r.Tuples, o...)
+	}
+	return r
+}

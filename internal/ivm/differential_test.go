@@ -4,9 +4,11 @@ import (
 	"math/rand"
 	"testing"
 
+	"idivm/internal/algebra"
 	"idivm/internal/db"
 	"idivm/internal/ivm"
 	"idivm/internal/rel"
+	"idivm/internal/storage"
 )
 
 // samePhases compares everything deterministic about two maintenance
@@ -171,6 +173,121 @@ func TestCompiledParallelCounterParity(t *testing.T) {
 			}
 			if !viewState(t, dS, "V").EqualSet(viewState(t, dP, "V")) {
 				t.Fatalf("trial %d round %d: states diverge\nplan: %s", trial, round, plan)
+			}
+		}
+	}
+}
+
+// TestOpWorkersEngineMatrixDifferential is the differential net over the
+// intra-operator kernels: every seeded random plan runs, per storage
+// engine (mem, sharded:1, sharded:8), as a fully sequential reference and
+// as {OpWorkers only, step-DAG + OpWorkers} twins fed identical
+// modification streams. Every parallel cell must reproduce its engine's
+// sequential reference byte-for-byte — per-step reports and the database
+// access counters — because the Handle charges partitioned scans exactly
+// as flat scans and every kernel merges in deterministic order. (The
+// reference is per-engine: physical scan order differs between backends,
+// which can legitimately shift apply-phase costs; parallelism must not.)
+// Final view state must additionally agree across all engines. MinOpRows
+// is forced to 1 so the kernels engage on the tiny Figure 2 instance; run
+// under -race this also proves the kernels are data-race free on every
+// backend.
+func TestOpWorkersEngineMatrixDifferential(t *testing.T) {
+	defer func(old int) { algebra.MinOpRows = old }(algebra.MinOpRows)
+	algebra.MinOpRows = 1
+
+	trials := 20
+	if testing.Short() {
+		trials = 3
+	}
+	engines := []struct {
+		name string
+		mk   func() storage.Engine
+	}{
+		{"mem", storage.NewMem},
+		{"sharded1", func() storage.Engine { return storage.NewSharded(1) }},
+		{"sharded8", func() storage.Engine { return storage.NewSharded(8) }},
+	}
+	strategies := []struct {
+		name      string
+		workers   int
+		opWorkers int
+	}{
+		{"seq", 0, 0}, // per-engine reference; must come first
+		{"op4", 0, 4},
+		{"dag4+op4", 4, 4},
+	}
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(11000 + trial)
+		// One plan, generated against a throwaway mem twin; every cell
+		// holds identical tables, so the plan is valid for all of them.
+		gDB := fig2DB(t)
+		g := &planGen{rng: rand.New(rand.NewSource(seed)), d: gDB}
+		plan := g.gen()
+
+		type cell struct {
+			label string
+			d     *db.Database
+			sys   *ivm.System
+			rng   *rand.Rand
+			next  int
+			rep   *ivm.Report
+			count rel.CostCounter
+		}
+		// cells[e][s]: engine e under strategy s; strategy 0 is the
+		// sequential reference every other strategy is compared against.
+		cells := make([][]*cell, len(engines))
+		for ei, e := range engines {
+			for _, s := range strategies {
+				d := fig2DBOn(t, e.mk())
+				sys := ivm.NewSystem(d)
+				sys.Workers = s.workers
+				sys.OpWorkers = s.opWorkers
+				if _, err := sys.RegisterView("V", plan, ivm.ModeID); err != nil {
+					t.Fatalf("trial %d: register %s/%s: %v\nplan: %s", trial, e.name, s.name, err, plan)
+				}
+				cells[ei] = append(cells[ei], &cell{label: e.name + "/" + s.name, d: d, sys: sys,
+					rng: rand.New(rand.NewSource(seed * 13)), next: 50})
+			}
+		}
+
+		for round := 0; round < 4; round++ {
+			for _, row := range cells {
+				for _, c := range row {
+					randomMods(c.d, c.rng, &c.next)
+					c.d.Counter().Reset()
+					rep, err := c.sys.MaintainAll()
+					if err != nil {
+						t.Fatalf("trial %d round %d %s: %v\nplan: %s", trial, round, c.label, err, plan)
+					}
+					if len(rep) != 1 {
+						t.Fatalf("trial %d round %d %s: %d reports", trial, round, c.label, len(rep))
+					}
+					c.rep, c.count = rep[0], *c.d.Counter()
+				}
+			}
+			// Parallel cells must match their engine's sequential
+			// reference exactly: reports, steps, counters.
+			for _, row := range cells {
+				ref := row[0]
+				for _, c := range row[1:] {
+					samePhases(t, c.label, ref.rep, c.rep)
+					if ref.count != c.count {
+						t.Fatalf("trial %d round %d %s: counters differ:\n %s %v\n %s %v\nplan: %s",
+							trial, round, c.label, ref.label, ref.count, c.label, c.count, plan)
+					}
+				}
+			}
+			// All cells — every engine, every strategy — must agree on the
+			// final view contents.
+			refView := viewState(t, cells[0][0].d, "V")
+			for _, row := range cells {
+				for _, c := range row {
+					if v := viewState(t, c.d, "V"); !refView.EqualSet(v) {
+						t.Fatalf("trial %d round %d %s: states diverge:\n %s:\n%v\n %s:\n%v\nplan: %s",
+							trial, round, c.label, cells[0][0].label, refView.Sorted(), c.label, v.Sorted(), plan)
+					}
+				}
 			}
 		}
 	}

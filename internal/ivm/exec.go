@@ -71,6 +71,14 @@ type ExecOptions struct {
 	// path even when a compiled plan is cached — the reference-oracle mode
 	// the differential tests compare the compiled executor against.
 	Interpret bool
+	// OpWorkers bounds intra-operator parallelism: >1 lets each compiled
+	// compute step run its partition-parallel kernels (scan, scan+filter,
+	// join probe/build, group-by pre-aggregation) on that many pool
+	// workers. Orthogonal to Workers (which overlaps whole steps); results,
+	// per-step reports and access counters are identical to sequential
+	// execution. 0 or 1 keeps operators sequential; the interpreted path
+	// ignores it.
+	OpWorkers int
 }
 
 // scriptExec is the shared state of one script execution: the database,
@@ -81,6 +89,7 @@ type scriptExec struct {
 	d         *db.Database
 	s         *Script
 	interpret bool
+	opWorkers int
 
 	mu   sync.RWMutex
 	bind map[string]*rel.Relation
@@ -124,6 +133,12 @@ func (e *stepEnv) Rel(name string) (*rel.Relation, error) {
 	return nil, fmt.Errorf("ivm: unbound relation %q", name)
 }
 
+// OpWorkers implements algebra.OpParallelEnv: the per-operator worker
+// budget granted to this step's compiled plan.
+func (e *stepEnv) OpWorkers() int { return e.x.opWorkers }
+
+var _ algebra.OpParallelEnv = (*stepEnv)(nil)
+
 // RunScript executes a Δ-script against the database: base diff instances
 // are passed as bindings keyed by BaseBindName; the script's compute steps
 // evaluate plans and bind results; apply steps mutate caches and the view.
@@ -154,7 +169,7 @@ func runScript(d *db.Database, s *Script, bindings map[string]*rel.Relation, ver
 	if root == nil {
 		root = d.Counter()
 	}
-	x := &scriptExec{d: d, s: s, interpret: opts.Interpret, bind: make(map[string]*rel.Relation, len(bindings)+8)}
+	x := &scriptExec{d: d, s: s, interpret: opts.Interpret, opWorkers: opts.OpWorkers, bind: make(map[string]*rel.Relation, len(bindings)+8)}
 	for k, v := range bindings { //ivmlint:allow maprange — map-to-map copy, order-free
 		x.bind[k] = v
 	}

@@ -238,8 +238,9 @@ func (g *gen) groupIncremental(op *algebra.GroupBy, ins []decl, input inputFn, o
 	// overlapping contributions from different base-diff paths can be
 	// deduplicated: two paths deleting (or inserting) the same input tuple
 	// yield identical rows and are collapsed; an update contribution for a
-	// tuple that some path deletes is dropped (the delete already accounts
-	// for the tuple's entire pre-state value).
+	// tuple that some path deletes or inserts is dropped (the delete already
+	// accounts for the tuple's entire pre-state value, the insert for its
+	// entire post-state value — an update delta on top would double-count).
 	byKind := map[DiffType][]algebra.Node{}
 	for _, in := range ins {
 		c, err := g.contribution(op, in, input)
@@ -288,9 +289,21 @@ func (g *gen) groupIncremental(op *algebra.GroupBy, ins []decl, input inputFn, o
 		if allCols == nil {
 			allCols = u.Schema().Attrs
 		}
+		pruned := u
 		if dels != nil {
-			u2 := algebra.NewAntiJoin(u, renameAll(algebra.Keep(dels, kcols...), "@x"), idEq(kcols, "@x"))
-			parts = append(parts, algebra.Keep(u2, allCols...))
+			pruned = algebra.NewAntiJoin(pruned, renameAll(algebra.Keep(dels, kcols...), "@x"), idEq(kcols, "@x"))
+		}
+		if insrt != nil {
+			// Insert contributions pass ∆3's anti-join with Input_pre, so
+			// their κ̄ keys are exactly the effectively-new tuples — the ones
+			// whose post-state value the insert path fully accounts. A
+			// same-epoch update of such a tuple (possible with full-tuple
+			// diffs, whose update rule enumerates post-state join tuples)
+			// must not also contribute its pre→post delta.
+			pruned = algebra.NewAntiJoin(pruned, renameAll(algebra.Keep(insrt, kcols...), "@y"), idEq(kcols, "@y"))
+		}
+		if pruned != u {
+			parts = append(parts, algebra.Keep(pruned, allCols...))
 		} else {
 			parts = append(parts, u)
 		}

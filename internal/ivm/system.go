@@ -68,6 +68,10 @@ type System struct {
 	// evaluator instead of the compiled plans cached at registration —
 	// the reference oracle the differential tests compare against.
 	Interpret bool
+	// OpWorkers bounds intra-operator parallelism inside each compiled
+	// compute step (partition-parallel scans, join probes/builds, group-by
+	// pre-aggregation). Orthogonal to Workers; see ExecOptions.OpWorkers.
+	OpWorkers int
 }
 
 // NewSystem creates an idIVM system over a database.
@@ -210,7 +214,7 @@ func (s *System) GenerateInstances(v *View) (map[string]*rel.Relation, int, erro
 // MaintainAll) once every view is maintained. With Workers > 1 the view's
 // Δ-script runs on the step-DAG scheduler.
 func (s *System) Maintain(name string) (*Report, error) {
-	return s.maintain(name, ExecOptions{Workers: s.Workers, Interpret: s.Interpret})
+	return s.maintain(name, ExecOptions{Workers: s.Workers, Interpret: s.Interpret, OpWorkers: s.OpWorkers})
 }
 
 func (s *System) maintain(name string, opts ExecOptions) (*Report, error) {
@@ -264,7 +268,7 @@ func (s *System) maintainAllParallel() ([]*Report, error) {
 	errs := make([]error, n)
 	shards := make([]rel.CostCounter, n)
 	parallelFor(s.Workers, n, func(i int) {
-		reports[i], errs[i] = s.maintain(s.order[i], ExecOptions{Workers: s.Workers, Counter: &shards[i], Interpret: s.Interpret})
+		reports[i], errs[i] = s.maintain(s.order[i], ExecOptions{Workers: s.Workers, Counter: &shards[i], Interpret: s.Interpret, OpWorkers: s.OpWorkers})
 	})
 	for i := range shards {
 		s.DB.MergeCounter(shards[i])

@@ -9,12 +9,21 @@ import (
 	"idivm/internal/expr"
 	"idivm/internal/ivm"
 	"idivm/internal/rel"
+	"idivm/internal/storage"
 )
 
-// fig2DB builds the paper's Figure 2 initial database instance.
+// fig2DB builds the paper's Figure 2 initial database instance on the
+// default mem engine.
 func fig2DB(t testing.TB) *db.Database {
 	t.Helper()
-	d := db.New()
+	return fig2DBOn(t, storage.NewMem())
+}
+
+// fig2DBOn builds the same instance on an explicit storage engine, for the
+// engine-matrix differential tests.
+func fig2DBOn(t testing.TB, eng storage.Engine) *db.Database {
+	t.Helper()
+	d := db.NewWith(eng)
 	parts := d.MustCreateTable("parts", rel.NewSchema([]string{"pid", "price"}, []string{"pid"}))
 	parts.MustInsert(rel.String("P1"), rel.Int(10))
 	parts.MustInsert(rel.String("P2"), rel.Int(20))
@@ -416,13 +425,17 @@ func TestRandomizedMaintenance(t *testing.T) {
 func partID(i int) string { return "P" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
 func devID(i int) string  { return "D" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
 
-// randomKey picks a random primary key currently in the table.
+// randomKey picks a random primary key currently in the table. The pick is
+// made against the sorted row set, not physical row order: storage backends
+// partition rows differently, and the engine-matrix differential tests need
+// identical logical states to yield identical modification streams on every
+// backend.
 func randomKey(d *db.Database, table string, rng *rand.Rand) []rel.Value {
 	t, err := d.Table(table)
 	if err != nil || t.Len() == 0 {
 		return nil
 	}
-	rows := t.Rows(rel.StatePost)
+	rows := t.Relation(rel.StatePost).Sorted().Tuples
 	row := rows[rng.Intn(len(rows))]
 	idx := t.Schema().KeyIndices()
 	key := make([]rel.Value, len(idx))

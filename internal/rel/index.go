@@ -1,6 +1,10 @@
 package rel
 
-import "strings"
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
 
 // hashIndex is an equality index over a fixed attribute set, mapping the
 // encoded attribute values to row positions. Indexes are maintained
@@ -75,15 +79,28 @@ func (h *hashIndex) update(oldRow, newRow Tuple, pos int) {
 
 func indexSig(attrs []string) string { return strings.Join(attrs, "\x00") }
 
+// idxEntry is one slot of an index cache: a single-flight cell whose build
+// runs exactly once no matter how many readers hit the cold index
+// concurrently. Readers install the entry under idxMu, then build outside
+// it through once — concurrent probes for the same signature block on the
+// one in-flight build instead of each paying an O(n) rebuild (which
+// matters once partition-parallel kernels probe a cold index from many
+// workers at once).
+type idxEntry struct {
+	once sync.Once
+	h    *hashIndex // nil when the build failed
+	err  error
+}
+
 // indexOn returns (building lazily) the secondary index over attrs for the
 // requested state. Pre-state indexes are cached for the epoch; post-state
 // indexes are maintained incrementally by the table's mutation paths.
 //
-// Callers hold c.mu (read or write). Two readers may race to build the
-// same cold index under their shared RLock, so the check-build-install
-// sequence is serialized by the leaf mutex idxMu; mutation paths hold the
-// write lock, which already excludes readers, but take idxMu anyway to
-// keep the cache-map discipline uniform.
+// Callers hold c.mu (read or write). The cache maps are guarded by the
+// leaf lock idxMu; builds themselves run inside the entry's once, outside
+// idxMu. That is safe against mutation: builds only run under the caller's
+// c.mu (read or write), and every mutation path holds c.mu.Lock — so a
+// writer can never observe an in-flight build, only completed entries.
 func (c *tableCore) indexOn(s State, attrs []string) (*hashIndex, error) {
 	return c.indexOnSig(s, attrs, indexSig(attrs))
 }
@@ -92,7 +109,7 @@ func (c *tableCore) indexOn(s State, attrs []string) (*hashIndex, error) {
 // prepared probes (Table.LookupInto) skip the per-call strings.Join. Column
 // resolution only runs on a cache miss: a hit is a map lookup.
 func (c *tableCore) indexOnSig(s State, attrs []string, sig string) (*hashIndex, error) {
-	var cache map[string]*hashIndex
+	var cache map[string]*idxEntry
 	var rows []Tuple
 	if s == StatePre && c.inEpoch {
 		// Until the first write of the epoch, the pre- and post-states are
@@ -107,51 +124,72 @@ func (c *tableCore) indexOnSig(s State, attrs []string, sig string) (*hashIndex,
 	} else {
 		cache, rows = c.secondary, c.rows
 	}
-	c.idxMu.Lock()
-	defer c.idxMu.Unlock()
-	if h, ok := cache[sig]; ok {
-		return h, nil
+	c.idxMu.RLock()
+	e, ok := cache[sig]
+	c.idxMu.RUnlock()
+	if !ok {
+		c.idxMu.Lock()
+		if e, ok = cache[sig]; !ok {
+			e = &idxEntry{}
+			cache[sig] = e
+		}
+		c.idxMu.Unlock()
 	}
-	idx, err := c.schema.Indices(attrs)
-	if err != nil {
-		return nil, err
+	e.once.Do(func() {
+		atomic.AddInt64(&c.idxBuilds, 1)
+		idx, err := c.schema.Indices(attrs)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.h = buildHashIndex(rows, idx)
+	})
+	if e.err != nil {
+		return nil, e.err
 	}
-	h := buildHashIndex(rows, idx)
-	cache[sig] = h
-	return h, nil
+	return e.h, nil
 }
 
 // Incremental maintenance hooks called by the table's mutation paths,
-// which hold the write lock.
+// which hold the write lock (so no build is in flight; see indexOn).
+// Failed entries carry a nil index and are skipped.
 
 func (c *tableCore) indexesAdd(row Tuple, pos int) {
-	c.idxMu.Lock()
-	defer c.idxMu.Unlock()
-	for _, h := range c.secondary { //ivmlint:allow maprange — every index updated, order-free
-		h.add(row, pos)
+	c.idxMu.RLock()
+	defer c.idxMu.RUnlock()
+	for _, e := range c.secondary { //ivmlint:allow maprange — every index updated, order-free
+		if e.h != nil {
+			e.h.add(row, pos)
+		}
 	}
 }
 
 func (c *tableCore) indexesRemove(row Tuple, pos int) {
-	c.idxMu.Lock()
-	defer c.idxMu.Unlock()
-	for _, h := range c.secondary { //ivmlint:allow maprange — every index updated, order-free
-		h.remove(row, pos)
+	c.idxMu.RLock()
+	defer c.idxMu.RUnlock()
+	for _, e := range c.secondary { //ivmlint:allow maprange — every index updated, order-free
+		if e.h != nil {
+			e.h.remove(row, pos)
+		}
 	}
 }
 
 func (c *tableCore) indexesMove(row Tuple, from, to int) {
-	c.idxMu.Lock()
-	defer c.idxMu.Unlock()
-	for _, h := range c.secondary { //ivmlint:allow maprange — every index updated, order-free
-		h.move(row, from, to)
+	c.idxMu.RLock()
+	defer c.idxMu.RUnlock()
+	for _, e := range c.secondary { //ivmlint:allow maprange — every index updated, order-free
+		if e.h != nil {
+			e.h.move(row, from, to)
+		}
 	}
 }
 
 func (c *tableCore) indexesUpdate(oldRow, newRow Tuple, pos int) {
-	c.idxMu.Lock()
-	defer c.idxMu.Unlock()
-	for _, h := range c.secondary { //ivmlint:allow maprange — every index updated, order-free
-		h.update(oldRow, newRow, pos)
+	c.idxMu.RLock()
+	defer c.idxMu.RUnlock()
+	for _, e := range c.secondary { //ivmlint:allow maprange — every index updated, order-free
+		if e.h != nil {
+			e.h.update(oldRow, newRow, pos)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package rel
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"testing"
 )
 
@@ -104,4 +105,72 @@ func TestDeleteWhereKeepsIndexesFresh(t *testing.T) {
 			t.Fatalf("leftover row %v", r)
 		}
 	}
+}
+
+// Concurrent cold probes of the same index must build it exactly once
+// (single-flight): under partition-parallel kernels many workers hit the
+// same cold index at the same instant. Run with -race to catch unlocked
+// paths.
+func TestColdIndexBuildsOnce(t *testing.T) {
+	tab := MustNewTable("t", NewSchema([]string{"k", "g"}, []string{"k"}))
+	for i := int64(0); i < 500; i++ {
+		tab.MustInsert(Int(i), Int(i%7))
+	}
+	const readers = 16
+	start := make(chan struct{})
+	done := make(chan int, readers)
+	for w := 0; w < readers; w++ {
+		go func(w int) {
+			<-start
+			rows, err := tab.Lookup(StatePost, []string{"g"}, []Value{Int(int64(w % 7))})
+			if err != nil {
+				done <- -1
+				return
+			}
+			done <- len(rows)
+		}(w)
+	}
+	close(start)
+	for w := 0; w < readers; w++ {
+		if n := <-done; n < 0 {
+			t.Fatal("lookup failed")
+		}
+	}
+	if got := atomicLoadBuilds(tab); got != 1 {
+		t.Fatalf("cold index built %d times, want 1 (single-flight)", got)
+	}
+	// A second distinct signature is a second build, not more.
+	if _, err := tab.Lookup(StatePost, []string{"k", "g"}, []Value{Int(1), Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomicLoadBuilds(tab); got != 2 {
+		t.Fatalf("builds after second signature = %d, want 2", got)
+	}
+}
+
+// A failed build (unknown attribute) must stay failed, charge no index,
+// and never be touched by the mutation hooks.
+func TestFailedIndexEntryIsInert(t *testing.T) {
+	tab := MustNewTable("t", NewSchema([]string{"k", "g"}, []string{"k"}))
+	tab.MustInsert(Int(1), Int(2))
+	if _, err := tab.Lookup(StatePost, []string{"nope"}, []Value{Int(1)}); err == nil {
+		t.Fatal("lookup on unknown attr must fail")
+	}
+	if _, err := tab.Lookup(StatePost, []string{"nope"}, []Value{Int(1)}); err == nil {
+		t.Fatal("cached failed entry must still fail")
+	}
+	// Mutations must skip the nil index of the failed entry.
+	tab.MustInsert(Int(2), Int(3))
+	if !tab.DeleteKey([]Value{Int(1)}) {
+		t.Fatal("delete")
+	}
+	rows, err := tab.Lookup(StatePost, []string{"g"}, []Value{Int(3)})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("g=3 rows = %d, err %v", len(rows), err)
+	}
+}
+
+// atomicLoadBuilds reads the table's build counter.
+func atomicLoadBuilds(t *Table) int64 {
+	return atomic.LoadInt64(&t.core.idxBuilds)
 }

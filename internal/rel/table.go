@@ -34,9 +34,11 @@ func (s State) String() string {
 //     scheduler serializes apply steps per table, so writer contention is
 //     only with readers of *other* states (pre-state probes), which the
 //     lock makes safe;
-//   - lazy secondary-index builds can happen under an RLock (two readers
-//     probing the same cold index), so the index caches are additionally
-//     guarded by the leaf mutex idxMu.
+//   - lazy secondary-index builds happen under an RLock (readers probing a
+//     cold index), so the index caches are additionally guarded by the
+//     leaf lock idxMu, and each cache slot is a single-flight entry: many
+//     concurrent probes of the same cold index — routine once the
+//     partition-parallel kernels fan probes out — build it exactly once.
 type tableCore struct {
 	mu     sync.RWMutex
 	name   string
@@ -45,14 +47,15 @@ type tableCore struct {
 	rows   []Tuple
 	byKey  map[string]int
 
-	idxMu     sync.Mutex            // guards lazy build/install in the index caches
-	secondary map[string]*hashIndex // post-state secondary indexes
+	idxMu     sync.RWMutex         // guards the index cache maps (not the builds)
+	secondary map[string]*idxEntry // post-state secondary indexes, single-flight
+	idxBuilds int64                // total index builds (atomic; observability/tests)
 
 	inEpoch      bool
 	epochMutated bool // any write since BeginEpoch
 	preRows      []Tuple
 	preByKey     map[string]int
-	preSecondary map[string]*hashIndex
+	preSecondary map[string]*idxEntry
 }
 
 // Table is the storage core of the default in-memory engine: a stored
@@ -85,7 +88,7 @@ func NewTable(name string, schema Schema) (*Table, error) {
 		schema:    schema.Clone(),
 		keyIdx:    idx,
 		byKey:     make(map[string]int),
-		secondary: make(map[string]*hashIndex),
+		secondary: make(map[string]*idxEntry),
 	}}, nil
 }
 
@@ -152,6 +155,19 @@ func (t *Table) Scan(s State) []Tuple {
 	rows, _ := t.core.stateRows(s)
 	t.core.mu.RUnlock()
 	return rows
+}
+
+// Parts reports the number of storage partitions: always 1 — the in-memory
+// table is unpartitioned.
+func (t *Table) Parts() int { return 1 }
+
+// ScanPart reads partition i of the requested state. With a single
+// partition it is exactly Scan; any other index is a caller bug.
+func (t *Table) ScanPart(s State, i int) []Tuple {
+	if i != 0 {
+		panic(fmt.Sprintf("rel: table %q has 1 part, ScanPart(%d)", t.core.name, i))
+	}
+	return t.Scan(s)
 }
 
 // Relation materializes the requested state as a Relation (snapshot
@@ -425,7 +441,7 @@ func (t *Table) BeginEpoch() {
 	for k, v := range c.byKey { //ivmlint:allow maprange — map-to-map copy, order-free
 		c.preByKey[k] = v
 	}
-	c.preSecondary = make(map[string]*hashIndex)
+	c.preSecondary = make(map[string]*idxEntry)
 }
 
 // EndEpoch discards the pre-state snapshot.

@@ -60,6 +60,16 @@ type Table interface {
 	// Scan reads every tuple of the requested state. Callers must not
 	// mutate the returned tuples; the slice may alias backend storage.
 	Scan(s rel.State) []rel.Tuple
+	// Parts reports how many storage partitions back the table: 1 for
+	// unpartitioned backends, the shard count for partitioned ones.
+	// Uncharged runtime statistics, like IndexCard.
+	Parts() int
+	// ScanPart reads every tuple of partition i (0 ≤ i < Parts()) of the
+	// requested state. Concatenating all parts in part order yields exactly
+	// Scan's result — the contract the parallel operator kernels rely on
+	// for deterministic merges. Callers must not mutate the returned
+	// tuples; the slice may alias backend storage.
+	ScanPart(s rel.State, i int) []rel.Tuple
 	// Relation materializes the requested state as an independent Relation.
 	Relation(s rel.State) *rel.Relation
 	// Get fetches the row with the given primary-key values.

@@ -57,10 +57,12 @@ type shardTable struct {
 
 var _ Table = (*shardTable)(nil)
 
-// shardOf maps an encoded key to a partition by FNV-1a. The hash must be
+// ShardOf maps an encoded key to a partition by FNV-1a. The hash must be
 // stable across processes: the differential tests replay one workload on
-// both engines and rely on deterministic routing.
-func shardOf(key string, n int) int {
+// both engines and rely on deterministic routing. Exported so the parallel
+// operator kernels in internal/algebra can key-partition their own work
+// (hash-join builds, group-by pre-aggregation) with the identical routing.
+func ShardOf(key string, n int) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
@@ -70,11 +72,11 @@ func shardOf(key string, n int) int {
 }
 
 func (t *shardTable) forKey(key []rel.Value) *rel.Table {
-	return t.shards[shardOf(rel.TupleKey(key), len(t.shards))]
+	return t.shards[ShardOf(rel.TupleKey(key), len(t.shards))]
 }
 
 func (t *shardTable) forRow(row rel.Tuple) *rel.Table {
-	return t.shards[shardOf(rel.KeyOf(row, t.keyIdx), len(t.shards))]
+	return t.shards[ShardOf(rel.KeyOf(row, t.keyIdx), len(t.shards))]
 }
 
 // Name implements Table.
@@ -119,6 +121,15 @@ func (t *shardTable) Scan(s rel.State) []rel.Tuple {
 		out = append(out, p...)
 	}
 	return out
+}
+
+// Parts implements Table: one part per shard.
+func (t *shardTable) Parts() int { return len(t.shards) }
+
+// ScanPart implements Table: the scan of shard i. Scan concatenates the
+// shards in the same order, so parts 0..N-1 in order reproduce it exactly.
+func (t *shardTable) ScanPart(s rel.State, i int) []rel.Tuple {
+	return t.shards[i].Scan(s)
 }
 
 // Relation implements Table.
