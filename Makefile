@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race race-sharded lint bench-smoke bench-smoke-sharded
+.PHONY: check build vet test race race-sharded lint lint-json bench-smoke bench-smoke-sharded
 
 # check is the full local gate, identical to CI: build, vet, race-enabled
 # tests on both storage engines, and the repository linter. Any lint
@@ -27,6 +27,12 @@ race-sharded:
 
 lint:
 	$(GO) run ./cmd/ivmlint ./...
+
+# lint-json keeps the text findings on stdout and additionally writes
+# lint.json (the stable CI-artifact schema: file/line/col/analyzer/message
+# per finding, [] when clean). Exit status matches `make lint`.
+lint-json:
+	$(GO) run ./cmd/ivmlint -o lint.json ./...
 
 # bench-smoke mirrors CI's benchmark regression gate: a one-iteration run
 # of the Figure 12a (d=200) and SPJ headline benchmarks, converted to

@@ -1,160 +1,200 @@
 package main
 
 import (
-	"go/token"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"idivm/internal/lint"
 )
 
-// loadFixture type-checks the seeded regression package with all rules on.
-func loadFixture(t *testing.T) []finding {
+// fixtureCases maps each registered analyzer to its seeded fixture
+// package under testdata/src. Every fixture contains exactly one
+// deliberate violation (the line marked `// violation`) and one blessed
+// `//ivmlint:allow` suppression, so each case proves three things at
+// once: the analyzer fires (the test fails if the analyzer is missing or
+// disabled), it fires only where seeded, and the blessed annotation is
+// counted as used rather than stale.
+var fixtureCases = []struct {
+	analyzer string
+	wantMsg  string
+}{
+	{"maprange", "map iteration order"},
+	{"deepequal", "reflect.DeepEqual"},
+	{"bindname", "base:"},
+	{"gostmt", "goroutine launched outside"},
+	{"tabletype", "rel.Table"},
+	{"chargepath", "raw storage.Table"},
+	{"countershard", "CostCounter.TupleReads"},
+	{"sharedcapture", "captured variable"},
+	{"floatfold", "map-iteration order"},
+}
+
+func fixtureLoader(t *testing.T) *lint.Loader {
 	t.Helper()
-	root, mod, err := moduleRoot(".")
+	l, err := lint.NewLoader(".")
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("NewLoader: %v", err)
 	}
-	fset := token.NewFileSet()
-	im := newModuleImporter(root, mod, fset)
-	dir := filepath.Join("testdata", "src", "fixture")
-	pkg, err := loadPackage(im, dir, "fixture")
+	return l
+}
+
+// violationLines returns the 1-based lines of every `// violation` marker
+// in the fixture package — the exact positions the analyzer must flag.
+func violationLines(t *testing.T, dir string) map[string][]int {
+	t.Helper()
+	want := map[string][]int{}
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("ReadDir: %v", err)
 	}
-	return lintPackage(pkg, ruleSet{MapRange: true, DeepEqual: true, BindName: true, GoStmt: true, TableType: true})
-}
-
-// ruleCount tallies findings per rule.
-func ruleCount(fs []finding) map[string]int {
-	out := map[string]int{}
-	for _, f := range fs {
-		out[f.Rule]++
-	}
-	return out
-}
-
-func TestFixtureSeededRegressionsFlagged(t *testing.T) {
-	fs := loadFixture(t)
-	counts := ruleCount(fs)
-	if counts["maprange"] != 1 {
-		t.Errorf("maprange findings = %d, want exactly the unsorted range: %v", counts["maprange"], fs)
-	}
-	if counts["deepequal"] != 1 {
-		t.Errorf("deepequal findings = %d, want 1: %v", counts["deepequal"], fs)
-	}
-	if counts["bindname"] != 2 {
-		t.Errorf("bindname findings = %d, want the two rogue constructors: %v", counts["bindname"], fs)
-	}
-	if counts["gostmt"] != 2 {
-		t.Errorf("gostmt findings = %d, want the two naked goroutines (fixture.go and compile.go): %v", counts["gostmt"], fs)
-	}
-	if counts["tabletype"] != 2 {
-		t.Errorf("tabletype findings = %d, want the construction and the assertion: %v", counts["tabletype"], fs)
-	}
-	// Every finding must carry a real position, and none may come from the
-	// fixture's sched.go or pool.go — goroutines there are the blessed-file
-	// exemption. The kernel-file goroutine surfaces from compile.go.
-	for _, f := range fs {
-		okFile := strings.HasSuffix(f.Pos.Filename, "fixture.go") ||
-			(f.Rule == "gostmt" && strings.HasSuffix(f.Pos.Filename, "compile.go"))
-		if !okFile || f.Pos.Line <= 0 {
-			t.Errorf("finding without a real position (or from an exempt pool file): %v", f)
-		}
-	}
-	foundKernel := false
-	for _, f := range fs {
-		if f.Rule == "gostmt" && strings.HasSuffix(f.Pos.Filename, "compile.go") {
-			foundKernel = true
-		}
-	}
-	if !foundKernel {
-		t.Error("goroutine launched from the fixture's compile.go was not flagged")
-	}
-}
-
-// The two suppression forms (same line, preceding line) and the blessed
-// constructor must all stay quiet; the flagged map range must be the one in
-// UnsortedRange.
-func TestFixtureSuppressionsRespected(t *testing.T) {
-	fs := loadFixture(t)
-	for _, f := range fs {
-		if f.Rule != "maprange" {
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
-		// The sole maprange finding must sit inside UnsortedRange, which
-		// spans the head of the file — well before the suppressed loops.
-		if f.Pos.Line > 22 {
-			t.Errorf("maprange flagged a suppressed loop at line %d: %v", f.Pos.Line, f)
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.Contains(line, "// violation") {
+				want[e.Name()] = append(want[e.Name()], i+1)
+			}
 		}
 	}
-	for _, f := range fs {
-		if f.Rule == "bindname" && strings.Contains(f.Msg, "Δ") {
-			t.Errorf("bindname flagged an innocent Sprintf: %v", f)
-		}
+	return want
+}
+
+func TestAnalyzerFixtures(t *testing.T) {
+	l := fixtureLoader(t)
+	for _, tc := range fixtureCases {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			an := lint.ByName(tc.analyzer)
+			if an == nil {
+				t.Fatalf("analyzer %q is not registered", tc.analyzer)
+			}
+			dir := filepath.Join("testdata", "src", tc.analyzer)
+			pkg, err := l.Load(dir)
+			if err != nil {
+				t.Fatalf("Load(%s): %v", dir, err)
+			}
+			findings := lint.LintPackage(pkg, []*lint.Analyzer{an})
+			if len(findings) == 0 {
+				t.Fatal("fixture produced no findings — analyzer disabled?")
+			}
+
+			// Every `// violation` marker must have a finding and nothing
+			// else may be flagged.
+			want := violationLines(t, dir)
+			got := map[string][]int{}
+			for _, f := range findings {
+				if f.Analyzer != tc.analyzer {
+					t.Errorf("finding from wrong analyzer: %s", f)
+				}
+				if !strings.Contains(f.Msg, tc.wantMsg) {
+					t.Errorf("finding message %q does not mention %q", f.Msg, tc.wantMsg)
+				}
+				name := filepath.Base(f.Pos.Filename)
+				got[name] = append(got[name], f.Pos.Line)
+			}
+			for name, lines := range want {
+				if !equalInts(got[name], lines) {
+					t.Errorf("%s: flagged lines %v, want %v", name, got[name], lines)
+				}
+			}
+			for name := range got {
+				if _, ok := want[name]; !ok {
+					t.Errorf("unexpected findings in %s: %v", name, got[name])
+				}
+			}
+
+			// The fixture's blessed suppression must be counted as used.
+			if stale := lint.StaleFindings(pkg, []*lint.Analyzer{an}); len(stale) != 0 {
+				t.Errorf("unexpected stale suppressions: %v", stale)
+			}
+		})
 	}
 }
 
-func TestFindingRendering(t *testing.T) {
-	f := finding{Pos: token.Position{Filename: "x.go", Line: 3, Column: 7},
-		Rule: "maprange", Msg: "m"}
-	if got := f.String(); got != "x.go:3:7: maprange: m" {
-		t.Errorf("finding rendering = %q", got)
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStaleSuppressions exercises the three stale cases on the seeded
+// stale fixture: a dead annotation for an analyzer that ran, an unknown
+// analyzer name, and an annotation for an analyzer that did not run.
+func TestStaleSuppressions(t *testing.T) {
+	l := fixtureLoader(t)
+	dir := filepath.Join("testdata", "src", "stale")
+
+	pkg, err := l.Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	ran := []*lint.Analyzer{lint.ByName("maprange")}
+	if findings := lint.LintPackage(pkg, ran); len(findings) != 0 {
+		t.Fatalf("stale fixture has live findings: %v", findings)
+	}
+	stale := lint.StaleFindings(pkg, ran)
+	if len(stale) != 2 {
+		t.Fatalf("stale findings = %v, want 2", stale)
+	}
+	var msgs []string
+	for _, f := range stale {
+		if f.Analyzer != lint.StaleAnalyzerName {
+			t.Errorf("stale finding reported under %q, want %q", f.Analyzer, lint.StaleAnalyzerName)
+		}
+		msgs = append(msgs, f.Msg)
+	}
+	joined := strings.Join(msgs, "\n")
+	if !strings.Contains(joined, "unknown analyzer") {
+		t.Errorf("missing unknown-analyzer case in %q", joined)
+	}
+	if !strings.Contains(joined, "suppresses no finding") {
+		t.Errorf("missing dead-annotation case in %q", joined)
+	}
+
+	// A fresh load with the analyzer out of the ran set hits the third
+	// case: the annotation names an analyzer that never ran here.
+	pkg2, err := l.Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	found := false
+	for _, f := range lint.StaleFindings(pkg2, nil) {
+		if strings.Contains(f.Msg, "does not run on this package's files") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing not-run case")
 	}
 }
 
-// The real tree must be clean: this is the same gate CI runs via
-// `go run ./cmd/ivmlint ./...`, executed in-process for a fast signal.
+// TestRepositoryIsClean is the repo-wide self-lint gate: the module must
+// produce zero findings — and zero stale suppressions — under the full
+// analyzer suite, exactly like `go run ./cmd/ivmlint ./...` exiting zero.
 func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
-		t.Skip("typechecks the whole module")
+		t.Skip("self-lint type-checks the whole module; skipped in -short")
 	}
-	root, mod, err := moduleRoot(".")
+	res, err := lint.Run(".", []string{"./..."})
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("Run: %v", err)
 	}
-	dirs, err := expandPatterns(root, []string{"./..."})
-	if err != nil {
-		t.Fatal(err)
+	for _, lerr := range res.LoadErrors {
+		t.Errorf("load error: %v", lerr)
 	}
-	fset := token.NewFileSet()
-	im := newModuleImporter(root, mod, fset)
-	for _, dir := range dirs {
-		relDir, err := filepath.Rel(root, dir)
-		if err != nil {
-			t.Fatal(err)
-		}
-		importPath := mod
-		if relDir != "." {
-			importPath = mod + "/" + filepath.ToSlash(relDir)
-		}
-		pkg, err := loadPackage(im, dir, importPath)
-		if err != nil {
-			t.Fatalf("%s: %v", importPath, err)
-		}
-		for _, f := range lintPackage(pkg, rulesFor(mod, importPath)) {
-			t.Errorf("%v", f)
-		}
-	}
-}
-
-// rulesFor routes the determinism rule to the generation packages only and
-// the hot-path rule to the executor and relation layers.
-func TestRulesFor(t *testing.T) {
-	cases := []struct {
-		path string
-		want ruleSet
-	}{
-		{"idivm/internal/ivm", ruleSet{MapRange: true, DeepEqual: true, BindName: true, GoStmt: true, TableType: true}},
-		{"idivm/internal/algebra", ruleSet{MapRange: true, BindName: true, GoStmt: true, TableType: true}},
-		{"idivm/internal/sqlview", ruleSet{MapRange: true, BindName: true, TableType: true}},
-		{"idivm/internal/rel", ruleSet{DeepEqual: true, BindName: true}},
-		{"idivm/internal/storage", ruleSet{BindName: true}},
-		{"idivm/internal/db", ruleSet{BindName: true, TableType: true}},
-		{"idivm/cmd/ivmlint", ruleSet{BindName: true, TableType: true}},
-	}
-	for _, c := range cases {
-		if got := rulesFor("idivm", c.path); got != c.want {
-			t.Errorf("rulesFor(%s) = %+v, want %+v", c.path, got, c.want)
-		}
+	for _, f := range res.Findings {
+		t.Errorf("finding: %s", f)
 	}
 }

@@ -1,179 +1,83 @@
-// Command ivmlint is the repository's determinism and hot-path linter,
-// built purely on the standard library's go/ast and go/types (the module
-// stays dependency-free). It walks the requested packages and flags:
-//
-//   - maprange — map-range loops in the script-generation packages
-//     (internal/ivm, internal/algebra, internal/sqlview): Go randomizes map
-//     iteration order, so an unsorted range there makes generated Δ-scripts
-//     differ between runs;
-//   - deepequal — reflect.DeepEqual in executor hot paths (internal/ivm,
-//     internal/rel), where the typed comparators of internal/rel must be
-//     used instead;
-//   - bindname — fmt.Sprintf calls fabricating "base:…"/"cache:…" binding
-//     names outside the blessed constructors (BaseBindName, freshCache);
-//   - gostmt — naked `go` statements in internal/ivm and internal/algebra
-//     outside the blessed pool files (sched.go, pool.go): maintenance and
-//     operator concurrency must flow through the bounded worker pools;
-//   - tabletype — references to the concrete table type (rel.Table,
-//     rel.NewTable, rel.MustNewTable) outside internal/rel and
-//     internal/storage: everything above the storage boundary must reach
-//     tables through storage.Engine / storage.Handle.
+// Command ivmlint is the repository's invariant linter: a thin CLI over
+// the pass-based analyzer framework in internal/lint. The framework
+// type-checks the requested packages (production and _test.go files, the
+// latter under a reduced rule set) on the standard library's go/ast +
+// go/types only, runs every registered analyzer in its scope, and reports
+// stale `//ivmlint:allow` annotations alongside ordinary findings. See
+// DESIGN.md §11 for the analyzer catalog and the invariant each one pins.
 //
 // Usage:
 //
-//	go run ./cmd/ivmlint ./...           # whole module
-//	go run ./cmd/ivmlint ./internal/...  # one subtree
+//	go run ./cmd/ivmlint ./...               # whole module, text findings
+//	go run ./cmd/ivmlint -json ./...         # JSON findings on stdout
+//	go run ./cmd/ivmlint -o lint.json ./...  # text findings + JSON artifact
 //
-// Exit status: 0 clean, 1 findings, 2 load/typecheck failure. Deliberate
-// order-free map iterations are suppressed with a `//ivmlint:allow
-// maprange` comment on the same or the preceding line.
+// Exit status: 0 clean, 1 findings, 2 load/typecheck failure. Suppress a
+// deliberate violation with `//ivmlint:allow <analyzer>` on the same or
+// the preceding line; unused annotations are themselves findings.
 package main
 
 import (
+	"flag"
 	"fmt"
-	"go/token"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
+
+	"idivm/internal/lint"
 )
 
 func main() {
-	args := os.Args[1:]
-	if len(args) == 0 {
-		args = []string{"./..."}
-	}
-	root, mod, err := moduleRoot(".")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ivmlint:", err)
-		os.Exit(2)
-	}
-	dirs, err := expandPatterns(root, args)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ivmlint:", err)
-		os.Exit(2)
-	}
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout instead of text")
+	artifact := flag.String("o", "", "also write findings as JSON to this file (CI artifact)")
+	flag.Usage = usage
+	flag.Parse()
 
-	fset := token.NewFileSet()
-	im := newModuleImporter(root, mod, fset)
-	var findings []finding
-	failed := false
-	for _, dir := range dirs {
-		relDir, err := filepath.Rel(root, dir)
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := lint.Run(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ivmlint:", err)
+		os.Exit(2)
+	}
+	for _, lerr := range res.LoadErrors {
+		fmt.Fprintln(os.Stderr, "ivmlint:", lerr)
+	}
+	if *artifact != "" || *jsonOut {
+		data, err := res.JSON()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ivmlint:", err)
 			os.Exit(2)
 		}
-		importPath := mod
-		if relDir != "." {
-			importPath = mod + "/" + filepath.ToSlash(relDir)
+		if *artifact != "" {
+			if err := os.WriteFile(*artifact, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "ivmlint:", err)
+				os.Exit(2)
+			}
 		}
-		pkg, err := loadPackage(im, dir, importPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ivmlint: %s: %v\n", importPath, err)
-			failed = true
-			continue
+		if *jsonOut {
+			os.Stdout.Write(data)
 		}
-		findings = append(findings, lintPackage(pkg, rulesFor(mod, importPath))...)
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i].Pos, findings[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+	if !*jsonOut {
+		for _, f := range res.Findings {
+			fmt.Println(f)
 		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		return a.Column < b.Column
-	})
-	for _, f := range findings {
-		fmt.Println(f)
 	}
 	switch {
-	case failed:
+	case len(res.LoadErrors) > 0:
 		os.Exit(2)
-	case len(findings) > 0:
-		fmt.Fprintf(os.Stderr, "ivmlint: %d finding(s)\n", len(findings))
+	case len(res.Findings) > 0:
+		fmt.Fprintf(os.Stderr, "ivmlint: %d finding(s)\n", len(res.Findings))
 		os.Exit(1)
 	}
 }
 
-// expandPatterns resolves ./...-style package patterns into the module's
-// package directories: directories containing at least one non-test .go
-// file, skipping testdata, hidden, and underscore-prefixed directories.
-func expandPatterns(root string, patterns []string) ([]string, error) {
-	seen := map[string]bool{}
-	var out []string
-	add := func(dir string) error {
-		abs, err := filepath.Abs(dir)
-		if err != nil {
-			return err
-		}
-		if !seen[abs] {
-			seen[abs] = true
-			out = append(out, abs)
-		}
-		return nil
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: ivmlint [-json] [-o file] [packages]\n\nAnalyzers:\n")
+	for _, an := range lint.Analyzers() {
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", an.Name, an.Doc)
 	}
-	for _, pat := range patterns {
-		recursive := false
-		dir := pat
-		if pat == "..." || strings.HasSuffix(pat, "/...") {
-			recursive = true
-			dir = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
-			if dir == "" || dir == "." {
-				dir = root
-			}
-		}
-		if !filepath.IsAbs(dir) {
-			dir = filepath.Join(root, dir)
-		}
-		if !recursive {
-			if !hasGoFiles(dir) {
-				// A typo'd path silently passing would defeat the gate.
-				return nil, fmt.Errorf("no buildable Go files in %s", dir)
-			}
-			if err := add(dir); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if !d.IsDir() {
-				return nil
-			}
-			name := d.Name()
-			if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-				return filepath.SkipDir
-			}
-			if hasGoFiles(path) {
-				return add(path)
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	sort.Strings(out)
-	return out, nil
-}
-
-// hasGoFiles reports whether the directory holds at least one buildable
-// non-test Go file.
-func hasGoFiles(dir string) bool {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return false
-	}
-	for _, e := range entries {
-		n := e.Name()
-		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
-			return true
-		}
-	}
-	return false
+	fmt.Fprintf(os.Stderr, "  %-14s stale //ivmlint:allow annotations (always on)\n", lint.StaleAnalyzerName)
+	flag.PrintDefaults()
 }

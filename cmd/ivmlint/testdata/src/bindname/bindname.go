@@ -1,0 +1,19 @@
+// Package bindname is the seeded fixture for the bindname analyzer: one
+// deliberate violation, one blessed suppression, and the constructor
+// exemption.
+package bindname
+
+import "fmt"
+
+func fabricated(i int) string {
+	return fmt.Sprintf("base:%d", i) // violation: binding name outside the constructors
+}
+
+func blessed(i int) string {
+	return fmt.Sprintf("cache:%d", i) //ivmlint:allow bindname — fixture bless
+}
+
+// BaseBindName is a blessed constructor by name: no finding inside it.
+func BaseBindName(i int) string {
+	return fmt.Sprintf("base:%d", i)
+}

@@ -1,0 +1,17 @@
+// Package chargepath is the seeded fixture for the chargepath analyzer:
+// one deliberate violation (a charged-shape call on the raw backend
+// interface) and one blessed suppression (a Backend() escape).
+package chargepath
+
+import (
+	"idivm/internal/rel"
+	"idivm/internal/storage"
+)
+
+func rawScan(t storage.Table) []rel.Tuple {
+	return t.Scan(rel.StatePost) // violation: charged access bypassing the Handle
+}
+
+func escape(h *storage.Handle) storage.Table {
+	return h.Backend() //ivmlint:allow chargepath — fixture bless: registration path
+}

@@ -1,0 +1,16 @@
+// Package countershard is the seeded fixture for the countershard
+// analyzer: one deliberate violation, one blessed suppression, and the
+// blessed fold helper staying quiet.
+package countershard
+
+import "idivm/internal/rel"
+
+func adHoc(c *rel.CostCounter) {
+	c.TupleReads++ // violation: ad-hoc field arithmetic
+}
+
+func fold(c *rel.CostCounter, shard rel.CostCounter) {
+	c.Add(shard) // blessed helper: no finding
+
+	c.TupleWrites += 1 //ivmlint:allow countershard — fixture bless
+}

@@ -1,0 +1,13 @@
+// Package deepequal is the seeded fixture for the deepequal analyzer: one
+// deliberate violation and one blessed suppression.
+package deepequal
+
+import "reflect"
+
+func eq(a, b []int) bool {
+	return reflect.DeepEqual(a, b) // violation: reflective comparison in a hot path
+}
+
+func eqBlessed(a, b []int) bool {
+	return reflect.DeepEqual(a, b) //ivmlint:allow deepequal — fixture bless
+}

@@ -1,0 +1,22 @@
+// Package floatfold is the seeded fixture for the floatfold analyzer: one
+// deliberate violation (a float fold in map-iteration order) and one
+// blessed suppression; the integer fold stays quiet.
+package floatfold
+
+func sums(m map[string]float64, n map[string]int) (float64, int, float64) {
+	var total float64
+	for _, v := range m {
+		total += v // violation: non-associative fold in randomized order
+	}
+
+	ints := 0
+	for _, v := range n {
+		ints += v // integers are associative: no finding
+	}
+
+	var count float64
+	for range m {
+		count += 1 //ivmlint:allow floatfold — fixture bless: constant increments commute
+	}
+	return total, ints, count
+}

@@ -1,0 +1,15 @@
+// Package maprange is the seeded fixture for the maprange analyzer: one
+// deliberate violation and one blessed suppression.
+package maprange
+
+func sum(m map[string]int) (int, int) {
+	total := 0
+	for _, v := range m { // violation: randomized iteration order
+		total += v
+	}
+	seen := 0
+	for range m { //ivmlint:allow maprange — order-free count
+		seen++
+	}
+	return total, seen
+}

@@ -1,0 +1,32 @@
+// Package sharedcapture is the seeded fixture for the sharedcapture
+// analyzer: one deliberate violation (a worker closure folding into a
+// captured accumulator), one blessed suppression, and the worker-indexed
+// discipline staying quiet. parallelFor is a local stub with the pool
+// helper's shape — the analyzer keys on the callee name.
+package sharedcapture
+
+func parallelFor(workers, n int, fn func(w, i int)) {
+	for w := 0; w < workers; w++ {
+		for i := w; i < n; i += workers {
+			fn(w, i)
+		}
+	}
+}
+
+func fold(xs []int) int {
+	total := 0
+	parallelFor(2, len(xs), func(w, i int) {
+		total += xs[i] // violation: captured-accumulator write
+	})
+
+	shards := make([]int, 2)
+	parallelFor(2, len(xs), func(w, i int) {
+		shards[w] += xs[i] // worker-indexed: no finding
+	})
+
+	sum := 0
+	parallelFor(1, len(xs), func(w, i int) {
+		sum += xs[i] //ivmlint:allow sharedcapture — fixture bless: single worker
+	})
+	return total + shards[0] + shards[1] + sum
+}

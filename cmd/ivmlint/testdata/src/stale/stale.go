@@ -1,0 +1,11 @@
+// Package stale is the seeded fixture for stale-suppression detection:
+// a dead annotation (right analyzer, nothing to suppress) and a typo'd
+// one (unknown analyzer). Both must surface as findings of the
+// "suppression" pseudo-analyzer.
+package stale
+
+func noop() int {
+	x := 1 //ivmlint:allow maprange — dead: there is no map range here
+	//ivmlint:allow nosuchrule — unknown analyzer name
+	return x
+}

@@ -1,0 +1,11 @@
+// Package tabletype is the seeded fixture for the tabletype analyzer: one
+// deliberate violation and one blessed suppression.
+package tabletype
+
+import "idivm/internal/rel"
+
+// leaked names the concrete table type above the storage boundary.
+var leaked *rel.Table // violation: concrete type reference
+
+//ivmlint:allow tabletype — fixture bless: helper constructs its own table
+var blessed = rel.MustNewTable("t", rel.NewSchema([]string{"k"}, []string{"k"}))

@@ -135,7 +135,11 @@ func (i *Instance) Len() int { return i.Rows.Len() }
 // It returns the number of view tuples touched. Dummy diff tuples
 // (overestimation) match nothing and are charged only their index lookup,
 // exactly the overestimation cost the paper analyzes.
-func (i *Instance) Apply(t storage.Table) (int, error) {
+//
+// The target is a *storage.Handle, not the raw storage.Table interface:
+// every APPLY write is a charged access of the paper's cost model, and the
+// Handle is the sole charge point (the chargepath analyzer pins this).
+func (i *Instance) Apply(t *storage.Handle) (int, error) {
 	switch i.Schema.Type {
 	case DiffUpdate:
 		return i.applyUpdate(t)
@@ -147,7 +151,7 @@ func (i *Instance) Apply(t storage.Table) (int, error) {
 	return 0, fmt.Errorf("ivm: unknown diff type %d", i.Schema.Type)
 }
 
-func (i *Instance) applyUpdate(t storage.Table) (int, error) {
+func (i *Instance) applyUpdate(t *storage.Handle) (int, error) {
 	sch := i.Rows.Schema
 	idIdx, err := sch.Indices(i.Schema.IDs)
 	if err != nil {
@@ -180,7 +184,7 @@ func (i *Instance) applyUpdate(t storage.Table) (int, error) {
 	return touched, nil
 }
 
-func (i *Instance) applyInsert(t storage.Table) (int, error) {
+func (i *Instance) applyInsert(t *storage.Handle) (int, error) {
 	tSchema := t.Schema()
 	if !eqStrs(i.Schema.IDs, tSchema.Key) {
 		return 0, fmt.Errorf("ivm: insert diff IDs %v must equal the full key %v of %s",
@@ -216,7 +220,7 @@ func (i *Instance) applyInsert(t storage.Table) (int, error) {
 	return inserted, nil
 }
 
-func (i *Instance) applyDelete(t storage.Table) (int, error) {
+func (i *Instance) applyDelete(t *storage.Handle) (int, error) {
 	idIdx, err := i.Rows.Schema.Indices(i.Schema.IDs)
 	if err != nil {
 		return 0, err
@@ -245,10 +249,10 @@ func (i *Instance) applyDelete(t storage.Table) (int, error) {
 //	    the diff's post values.
 //
 // It is used by tests and by the optional self-check mode of the executor.
-// Lookups performed here are charged to the table's counter like any other
-// access, so production paths should only enable self-checking when
-// measuring correctness, not cost.
-func (i *Instance) IsEffective(t storage.Table) (bool, error) {
+// Lookups performed here go through the Handle and are charged to its
+// counter like any other access, so production paths should only enable
+// self-checking when measuring correctness, not cost.
+func (i *Instance) IsEffective(t *storage.Handle) (bool, error) {
 	sch := i.Rows.Schema
 	idIdx, err := sch.Indices(i.Schema.IDs)
 	if err != nil {

@@ -7,14 +7,15 @@ import (
 	"idivm/internal/storage"
 )
 
-// viewTable builds the running example's view instance of Figure 2.
-func viewTable(t *testing.T) *rel.Table {
+// viewTable builds the running example's view instance of Figure 2,
+// wrapped in the cost-counting Handle that Apply/IsEffective require.
+func viewTable(t *testing.T) *storage.Handle {
 	t.Helper()
 	vt := rel.MustNewTable("V", rel.NewSchema([]string{"did", "pid", "price"}, []string{"did", "pid"}))
 	vt.MustInsert(rel.String("D1"), rel.String("P1"), rel.Int(10))
 	vt.MustInsert(rel.String("D2"), rel.String("P1"), rel.Int(10))
 	vt.MustInsert(rel.String("D1"), rel.String("P2"), rel.Int(20))
-	return vt
+	return storage.NewHandle(vt)
 }
 
 // Example 2.2: a single partial-ID update i-diff tuple updates both P1 rows.
@@ -43,7 +44,7 @@ func TestApplyUpdatePartialID(t *testing.T) {
 // A dummy diff tuple (overestimation) matches nothing and costs only its
 // index lookup — the overestimation cost model of Section 1.
 func TestApplyUpdateDummyTupleCost(t *testing.T) {
-	h := storage.NewHandle(viewTable(t))
+	h := viewTable(t)
 	var c rel.CostCounter
 	h.SetCounter(&c)
 	ds := DiffSchema{Type: DiffUpdate, Rel: "V", IDs: []string{"pid"}, Post: []string{"price"}}

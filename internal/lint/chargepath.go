@@ -1,0 +1,85 @@
+// chargepath pins the single-charge-point invariant of the storage
+// boundary: the paper's Section-6 access-count metric is only meaningful
+// if every tuple access is charged exactly once, and the architecture
+// guarantees that by making storage.Handle the sole decorator that
+// charges (DESIGN.md §9). Two escapes would silently uncount accesses:
+//
+//   - holding a raw storage.Table (the uncharged backend interface) and
+//     calling a charged-shape method on it — statically the value may be
+//     a bare backend, so the access is unaccounted unless the caller
+//     happens to pass a Handle;
+//   - calling Handle.Backend(), which hands out the uncounted backend.
+//
+// Outside internal/storage (which owns both sides of the boundary), the
+// analyzer flags both. Code that legitimately needs a raw table (e.g. a
+// catalog registering one) may hold it — only charged-shape calls and
+// Backend() escapes are violations.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// chargedShape are the Table methods Handle charges for; calling one on a
+// raw backend bypasses the cost model.
+var chargedShape = map[string]bool{
+	"Scan":           true,
+	"ScanPart":       true,
+	"Get":            true,
+	"Lookup":         true,
+	"LookupInto":     true,
+	"Insert":         true,
+	"InsertIfAbsent": true,
+	"DeleteKey":      true,
+	"DeleteWhere":    true,
+	"UpdateWhere":    true,
+	"UpdateKey":      true,
+}
+
+// AnalyzerChargePath enforces that every charged storage access flows
+// through *storage.Handle.
+var AnalyzerChargePath = register(&Analyzer{
+	Name: "chargepath",
+	Doc:  "storage accesses bypassing the cost-counting Handle decorator",
+	AppliesTo: func(rel string) bool {
+		return !pathIn(rel, "internal/storage")
+	},
+	Run: runChargePath,
+})
+
+func runChargePath(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pass.Pkg.Info.Selections[sel]
+			if !ok {
+				return true // qualified identifier or untracked selector
+			}
+			fn, ok := s.Obj().(*types.Func)
+			if !ok {
+				return true // field selection
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			recv := sig.Recv().Type()
+			switch {
+			case sel.Sel.Name == "Backend" && isNamed(recv, storagePkgPath, "Handle"):
+				pass.Reportf(sel.Pos(), "Handle.Backend() escapes the charge point: the raw backend "+
+					"charges nothing, so accesses through it vanish from the cost model "+
+					"(or annotate with //ivmlint:allow chargepath)")
+			case chargedShape[sel.Sel.Name] && isNamed(recv, storagePkgPath, "Table"):
+				pass.Reportf(sel.Pos(), "%s called on a raw storage.Table, bypassing the cost-counting "+
+					"Handle; take a *storage.Handle instead "+
+					"(or annotate with //ivmlint:allow chargepath)", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,144 @@
+// Determinism analyzers ported from ivmlint v1: maprange (randomized map
+// iteration in the script generators), deepequal (reflect.DeepEqual in
+// executor hot paths), and bindname (hand-rolled executor binding names).
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerMapRange flags ranging over a map in the script-generation
+// packages: Go randomizes iteration order, so any map range there is a
+// nondeterministic-output bug unless the keys are collected and sorted
+// first.
+var AnalyzerMapRange = register(&Analyzer{
+	Name: "maprange",
+	Doc:  "map-range loops in script-generation packages (randomized iteration order)",
+	AppliesTo: func(rel string) bool {
+		return pathIn(rel, "internal/ivm", "internal/algebra", "internal/sqlview")
+	},
+	Run: runMapRange,
+})
+
+func runMapRange(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if _, isMap := typeUnderlying(pass, rs.X).(*types.Map); !isMap {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "map iteration order is randomized; collect and sort the keys "+
+				"(or annotate an order-free loop with //ivmlint:allow maprange)")
+			return true
+		})
+	}
+}
+
+// AnalyzerDeepEqual flags calls and references to reflect.DeepEqual in the
+// executor and relation layers, where the typed comparators of
+// internal/rel must be used instead.
+var AnalyzerDeepEqual = register(&Analyzer{
+	Name: "deepequal",
+	Doc:  "reflect.DeepEqual in executor hot paths (use internal/rel comparators)",
+	AppliesTo: func(rel string) bool {
+		return pathIn(rel, "internal/ivm", "internal/rel")
+	},
+	Run: runDeepEqual,
+})
+
+func runDeepEqual(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "DeepEqual" {
+				return true
+			}
+			if !isPkgIdent(pass, sel.X, "reflect") {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"reflect.DeepEqual in an executor hot path; use the typed comparators in internal/rel")
+			return true
+		})
+	}
+}
+
+// bindNameConstructors are the only functions allowed to build executor
+// binding names from format strings.
+var bindNameConstructors = map[string]bool{
+	"BaseBindName": true,
+	"freshCache":   true,
+}
+
+// AnalyzerBindName flags fmt.Sprintf calls whose format literal fabricates
+// a "base:…" or "cache:…" binding name outside the blessed constructors,
+// which would bypass the single point of truth for the executor's naming
+// scheme.
+var AnalyzerBindName = register(&Analyzer{
+	Name:      "bindname",
+	Doc:       "binding names fabricated outside BaseBindName/freshCache",
+	AppliesTo: everywhere,
+	Run:       runBindName,
+})
+
+func runBindName(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if bindNameConstructors[fn.Name.Name] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Sprintf" || !isPkgIdent(pass, sel.X, "fmt") {
+					return true
+				}
+				lit, ok := call.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				val := strings.Trim(lit.Value, "`\"")
+				if strings.HasPrefix(val, "base:") || strings.HasPrefix(val, "cache:") {
+					pass.Reportf(call.Pos(), "binding name %q built outside the blessed constructors "+
+						"(BaseBindName / freshCache)", val)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// typeUnderlying returns the underlying type of an expression (nil if
+// untracked).
+func typeUnderlying(pass *Pass, e ast.Expr) types.Type {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+// isPkgIdent reports whether e is an identifier naming an import of the
+// given package path.
+func isPkgIdent(pass *Pass, e ast.Expr, path string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}

@@ -1,0 +1,390 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package variant ready for analysis: the
+// production files of a directory, or — with Test set — its internal or
+// external _test.go files. Files holds exactly the files the analyzers
+// inspect; Info always covers them (for the internal test variant it is
+// computed over production + test files together, since they form one
+// package).
+type Package struct {
+	Dir        string
+	ImportPath string
+	// Rel is the module-relative import path ("" for the module root) the
+	// scope predicates route on.
+	Rel   string
+	Test  bool
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+	sups  []*suppressionEntry
+}
+
+// Loader loads and type-checks module packages through one shared cache:
+// every import is resolved at most once per Loader, so a whole-module lint
+// run type-checks each dependency a single time.
+type Loader struct {
+	root string
+	mod  string
+	fset *token.FileSet
+	im   *moduleImporter
+}
+
+// NewLoader walks upward from start to the enclosing go.mod and returns a
+// loader rooted there.
+func NewLoader(start string) (*Loader, error) {
+	root, mod, err := moduleRoot(start)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{root: root, mod: mod, fset: fset, im: newModuleImporter(root, mod, fset)}, nil
+}
+
+// Root returns the module root directory.
+func (l *Loader) Root() string { return l.root }
+
+// Module returns the module path from go.mod.
+func (l *Loader) Module() string { return l.mod }
+
+// relPath converts a package directory (absolute, or relative to the
+// process working directory) into the module-relative import path
+// fragment ("" for the root).
+func (l *Loader) relPath(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.root, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return "", nil
+	}
+	return filepath.ToSlash(rel), nil
+}
+
+// importPath returns the full import path of a package directory.
+func (l *Loader) importPath(dir string) (string, error) {
+	rel, err := l.relPath(dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "" {
+		return l.mod, nil
+	}
+	return l.mod + "/" + rel, nil
+}
+
+// Load type-checks the production (non-test) files of dir with full type
+// info and collected suppressions.
+func (l *Loader) Load(dir string) (*Package, error) {
+	importPath, err := l.importPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := l.relPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	_, files, err := l.im.checkDir(dir, importPath, info)
+	if err != nil {
+		return nil, err
+	}
+	return l.newPackage(dir, importPath, rel, false, files, info), nil
+}
+
+// LoadTests type-checks the _test.go files of dir and returns up to two
+// package variants: the internal test files (package X, checked together
+// with the production files they extend) and the external ones (package
+// X_test, checked as their own package importing X through the cache).
+// Packages without test files yield an empty slice.
+func (l *Loader) LoadTests(dir string) ([]*Package, error) {
+	importPath, err := l.importPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := l.relPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	testFiles, err := parseDir(l.fset, dir, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(testFiles) == 0 {
+		return nil, nil
+	}
+	var internal, external []*ast.File
+	for _, f := range testFiles {
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			external = append(external, f)
+		} else {
+			internal = append(internal, f)
+		}
+	}
+	var out []*Package
+	if len(internal) > 0 {
+		// Internal test files share the production package; type-check
+		// the union so test code sees unexported declarations, but hand
+		// the analyzers only the test files. The check is throwaway — it
+		// never enters the import cache, so importers of the package keep
+		// seeing its production-only form.
+		prod, err := parseDir(l.fset, dir, false)
+		if err != nil {
+			return nil, err
+		}
+		info := newInfo()
+		conf := types.Config{Importer: l.im}
+		if _, err := conf.Check(importPath, l.fset, append(prod, internal...), info); err != nil {
+			return nil, fmt.Errorf("typecheck %s (internal tests): %w", importPath, err)
+		}
+		out = append(out, l.newPackage(dir, importPath, rel, true, internal, info))
+	}
+	if len(external) > 0 {
+		info := newInfo()
+		conf := types.Config{Importer: l.im}
+		if _, err := conf.Check(importPath+"_test", l.fset, external, info); err != nil {
+			return nil, fmt.Errorf("typecheck %s_test: %w", importPath, err)
+		}
+		out = append(out, l.newPackage(dir, importPath+"_test", rel, true, external, info))
+	}
+	return out, nil
+}
+
+func (l *Loader) newPackage(dir, importPath, rel string, test bool, files []*ast.File, info *types.Info) *Package {
+	p := &Package{Dir: dir, ImportPath: importPath, Rel: rel, Test: test,
+		Fset: l.fset, Files: files, Info: info}
+	for _, f := range files {
+		p.sups = append(p.sups, collectSuppressions(l.fset, f)...)
+	}
+	return p
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// moduleImporter resolves imports without go/packages or any external
+// tooling: module-internal paths ("idivm/...") map onto the repository's
+// directories and are type-checked recursively; everything else is the
+// standard library, resolved from GOROOT source. The cache is the
+// framework's shared type-checked package store — each import path is
+// checked once per Loader no matter how many packages (or test variants)
+// depend on it.
+type moduleImporter struct {
+	root  string
+	mod   string
+	fset  *token.FileSet
+	cache map[string]*types.Package
+	std   types.ImporterFrom
+}
+
+func newModuleImporter(root, mod string, fset *token.FileSet) *moduleImporter {
+	return &moduleImporter{
+		root:  root,
+		mod:   mod,
+		fset:  fset,
+		cache: map[string]*types.Package{},
+		std:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Import implements types.Importer.
+func (im *moduleImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (im *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := im.cache[path]; ok {
+		return p, nil
+	}
+	if path == im.mod || strings.HasPrefix(path, im.mod+"/") {
+		sub := strings.TrimPrefix(strings.TrimPrefix(path, im.mod), "/")
+		pkg, _, err := im.checkDir(filepath.Join(im.root, sub), path, nil)
+		if err != nil {
+			return nil, err
+		}
+		im.cache[path] = pkg
+		return pkg, nil
+	}
+	p, err := im.std.ImportFrom(path, dir, mode)
+	if err != nil {
+		return nil, err
+	}
+	im.cache[path] = p
+	return p, nil
+}
+
+// checkDir parses and type-checks the production files of one directory,
+// returning the checked package and the exact ASTs the checker saw. When
+// info is non-nil it is populated for analyzer consumption.
+func (im *moduleImporter) checkDir(dir, importPath string, info *types.Info) (*types.Package, []*ast.File, error) {
+	files, err := parseDir(im.fset, dir, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	conf := types.Config{Importer: im}
+	pkg, err := conf.Check(importPath, im.fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return pkg, files, nil
+}
+
+// parseDir parses the .go files of one directory with comments (the
+// suppression annotations live there) — the _test.go half when tests is
+// set, the production half otherwise.
+func parseDir(fset *token.FileSet, dir string, tests bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") != tests {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Expand resolves ./...-style package patterns into the module's package
+// directories: directories containing at least one non-test .go file,
+// skipping testdata, hidden, and underscore-prefixed directories.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(dir string) error {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return err
+		}
+		if !seen[abs] {
+			seen[abs] = true
+			out = append(out, abs)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		recursive := false
+		dir := pat
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			recursive = true
+			dir = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if dir == "" || dir == "." {
+				dir = l.root
+			}
+		}
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.root, dir)
+		}
+		if !recursive {
+			if !hasGoFiles(dir) {
+				// A typo'd path silently passing would defeat the gate.
+				return nil, fmt.Errorf("no buildable Go files in %s", dir)
+			}
+			if err := add(dir); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				return add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// hasGoFiles reports whether the directory holds at least one buildable
+// non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleRoot walks upward from start to the directory holding go.mod and
+// returns it along with the module path declared there.
+func moduleRoot(start string) (root, mod string, err error) {
+	dir, err := filepath.Abs(start)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "module ") {
+					return dir, strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+				}
+			}
+			return "", "", fmt.Errorf("go.mod in %s has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", start)
+		}
+		dir = parent
+	}
+}

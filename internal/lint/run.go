@@ -1,0 +1,119 @@
+// Whole-module orchestration: expand patterns, load every package (and
+// its test files) through one shared cache, route the registered
+// analyzers by scope, and collect position-sorted findings plus stale
+// suppressions. This is the engine behind both cmd/ivmlint and the
+// repo-wide self-lint test.
+
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Result is one lint run's outcome.
+type Result struct {
+	Root     string
+	Module   string
+	Findings []Finding
+	// LoadErrors records packages that failed to load or type-check; any
+	// entry makes the run inconclusive (CLI exit 2).
+	LoadErrors []error
+}
+
+// Run lints the packages matched by the ./...-style patterns, starting the
+// module-root search at start. Test files are linted with each analyzer's
+// reduced test scope; every package contributes its stale-suppression
+// findings after all applicable analyzers have run on it.
+func Run(start string, patterns []string) (*Result, error) {
+	l, err := NewLoader(start)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := l.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Root: l.Root(), Module: l.Module()}
+	for _, dir := range dirs {
+		for _, pkg := range loadVariants(l, dir, res) {
+			enabled := EnabledFor(pkg)
+			res.Findings = append(res.Findings, LintPackage(pkg, enabled)...)
+			res.Findings = append(res.Findings, StaleFindings(pkg, enabled)...)
+		}
+	}
+	SortFindings(res.Findings)
+	return res, nil
+}
+
+// loadVariants loads the production package and its test variants,
+// recording load failures on the result.
+func loadVariants(l *Loader, dir string, res *Result) []*Package {
+	var out []*Package
+	if pkg, err := l.Load(dir); err != nil {
+		res.LoadErrors = append(res.LoadErrors, err)
+	} else {
+		out = append(out, pkg)
+	}
+	tests, err := l.LoadTests(dir)
+	if err != nil {
+		res.LoadErrors = append(res.LoadErrors, err)
+	}
+	return append(out, tests...)
+}
+
+// SortFindings orders findings by file, line, column, then analyzer.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Pos, fs[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return fs[i].Analyzer < fs[j].Analyzer
+	})
+}
+
+// jsonFinding is the stable CI-artifact schema of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// JSON renders the findings as an indented JSON array (never null — a
+// clean run is the empty array) with module-root-relative file paths, so
+// artifacts compare across checkouts.
+func (r *Result) JSON() ([]byte, error) {
+	out := make([]jsonFinding, 0, len(r.Findings))
+	for _, f := range r.Findings {
+		out = append(out, jsonFinding{
+			File:     r.relFile(f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Msg,
+		})
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func (r *Result) relFile(file string) string {
+	if rel, err := filepath.Rel(r.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}

@@ -1,0 +1,107 @@
+// Unified `//ivmlint:allow <analyzer>` suppression handling. An
+// annotation suppresses findings of the named analyzer on its own source
+// line or the line directly below it; anything after the analyzer name
+// (conventionally an em-dash explanation) is free text. The framework
+// records which annotations actually matched a finding, so a run can
+// report the stale ones — escape hatches that outlived the code they
+// blessed silently widen the rules, which is exactly what the linter
+// exists to prevent.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the annotation marker, shared by every analyzer.
+const allowPrefix = "ivmlint:allow "
+
+// StaleAnalyzerName is the pseudo-analyzer stale-suppression findings are
+// reported under. It is not registered (a stale finding cannot itself be
+// suppressed — removing the dead annotation is the only fix).
+const StaleAnalyzerName = "suppression"
+
+// suppressionEntry is one //ivmlint:allow annotation found in a file.
+type suppressionEntry struct {
+	rule string
+	pos  token.Position
+	used bool
+}
+
+// collectSuppressions gathers the annotations of one parsed file.
+func collectSuppressions(fset *token.FileSet, f *ast.File) []*suppressionEntry {
+	var out []*suppressionEntry
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, allowPrefix)
+			rule := rest
+			if i := strings.IndexAny(rest, " \t—-"); i > 0 {
+				rule = rest[:i]
+			}
+			out = append(out, &suppressionEntry{rule: rule, pos: fset.Position(c.Pos())})
+		}
+	}
+	return out
+}
+
+// suppress reports whether a finding of the named analyzer at pos is
+// covered by an annotation on the same or the preceding line, marking
+// every matching annotation used.
+func (p *Package) suppress(rule string, pos token.Position) bool {
+	hit := false
+	for _, s := range p.sups {
+		if s.rule != rule || s.pos.Filename != pos.Filename {
+			continue
+		}
+		if s.pos.Line == pos.Line || s.pos.Line == pos.Line-1 {
+			s.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// StaleFindings reports the package's annotations that did not suppress
+// anything, given the analyzers that ran on it: dead escape hatches to
+// remove, typo'd analyzer names, and annotations for analyzers that do
+// not run on the package at all. Call it only after every intended
+// LintPackage pass — usage accrues across passes.
+func StaleFindings(pkg *Package, ran []*Analyzer) []Finding {
+	ranNames := map[string]bool{}
+	for _, an := range ran {
+		ranNames[an.Name] = true
+	}
+	var out []Finding
+	for _, s := range pkg.sups {
+		if s.used {
+			continue
+		}
+		var msg string
+		switch {
+		case ByName(s.rule) == nil:
+			msg = fmt.Sprintf("//ivmlint:allow names unknown analyzer %q", s.rule)
+		case !ranNames[s.rule]:
+			msg = fmt.Sprintf("//ivmlint:allow %s is stale: the %s analyzer does not run on this package's %s — remove the annotation",
+				s.rule, s.rule, fileKind(pkg))
+		default:
+			msg = fmt.Sprintf("//ivmlint:allow %s is stale: it suppresses no finding on this or the next line — remove the annotation",
+				s.rule)
+		}
+		out = append(out, Finding{Pos: s.pos, Analyzer: StaleAnalyzerName, Msg: msg})
+	}
+	return out
+}
+
+func fileKind(pkg *Package) string {
+	if pkg.Test {
+		return "test files"
+	}
+	return "files"
+}

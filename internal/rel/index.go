@@ -157,7 +157,7 @@ func (c *tableCore) indexOnSig(s State, attrs []string, sig string) (*hashIndex,
 func (c *tableCore) indexesAdd(row Tuple, pos int) {
 	c.idxMu.RLock()
 	defer c.idxMu.RUnlock()
-	for _, e := range c.secondary { //ivmlint:allow maprange — every index updated, order-free
+	for _, e := range c.secondary { // order-free: every index is updated
 		if e.h != nil {
 			e.h.add(row, pos)
 		}
@@ -167,7 +167,7 @@ func (c *tableCore) indexesAdd(row Tuple, pos int) {
 func (c *tableCore) indexesRemove(row Tuple, pos int) {
 	c.idxMu.RLock()
 	defer c.idxMu.RUnlock()
-	for _, e := range c.secondary { //ivmlint:allow maprange — every index updated, order-free
+	for _, e := range c.secondary { // order-free: every index is updated
 		if e.h != nil {
 			e.h.remove(row, pos)
 		}
@@ -177,7 +177,7 @@ func (c *tableCore) indexesRemove(row Tuple, pos int) {
 func (c *tableCore) indexesMove(row Tuple, from, to int) {
 	c.idxMu.RLock()
 	defer c.idxMu.RUnlock()
-	for _, e := range c.secondary { //ivmlint:allow maprange — every index updated, order-free
+	for _, e := range c.secondary { // order-free: every index is updated
 		if e.h != nil {
 			e.h.move(row, from, to)
 		}
@@ -187,7 +187,7 @@ func (c *tableCore) indexesMove(row Tuple, from, to int) {
 func (c *tableCore) indexesUpdate(oldRow, newRow Tuple, pos int) {
 	c.idxMu.RLock()
 	defer c.idxMu.RUnlock()
-	for _, e := range c.secondary { //ivmlint:allow maprange — every index updated, order-free
+	for _, e := range c.secondary { // order-free: every index is updated
 		if e.h != nil {
 			e.h.update(oldRow, newRow, pos)
 		}

@@ -120,6 +120,7 @@ func TestColdIndexBuildsOnce(t *testing.T) {
 	start := make(chan struct{})
 	done := make(chan int, readers)
 	for w := 0; w < readers; w++ {
+		//ivmlint:allow gostmt — deliberate raw goroutines: the test stresses the single-flight build, not the pool
 		go func(w int) {
 			<-start
 			rows, err := tab.Lookup(StatePost, []string{"g"}, []Value{Int(int64(w % 7))})

@@ -438,7 +438,7 @@ func (t *Table) BeginEpoch() {
 	c.epochMutated = false
 	c.preRows = append([]Tuple(nil), c.rows...)
 	c.preByKey = make(map[string]int, len(c.byKey))
-	for k, v := range c.byKey { //ivmlint:allow maprange — map-to-map copy, order-free
+	for k, v := range c.byKey { // order-free: map-to-map copy
 		c.preByKey[k] = v
 	}
 	c.preSecondary = make(map[string]*idxEntry)
