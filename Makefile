@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race race-sharded lint lint-json bench-smoke bench-smoke-sharded
+.PHONY: check build vet test race race-sharded race-serving lint lint-json bench-smoke bench-smoke-sharded bench-smoke-serving
 
 # check is the full local gate, identical to CI: build, vet, race-enabled
 # tests on both storage engines, and the repository linter. Any lint
@@ -25,6 +25,11 @@ race:
 race-sharded:
 	IDIVM_ENGINE=sharded $(GO) test -race ./internal/...
 
+# race-serving is the serving-layer tear-check at both GOMAXPROCS shapes
+# CI uses; the suite matrixes both storage engines internally.
+race-serving:
+	$(GO) test -race -cpu 1,4 -run 'Serving|Snapshot|Dispatcher' ./internal/serve/ .
+
 lint:
 	$(GO) run ./cmd/ivmlint ./...
 
@@ -36,12 +41,12 @@ lint-json:
 
 # bench-smoke mirrors CI's benchmark regression gate: a one-iteration run
 # of the Figure 12a (d=200) and SPJ headline benchmarks, converted to
-# BENCH_5.json (ns/op, allocs/op and accesses/op per row) and compared
+# BENCH.json (ns/op, allocs/op and accesses/op per row) and compared
 # against testdata/bench_baseline.json on the deterministic accesses/op
 # metric (>20% worse fails; ns/op appears as an informational column).
 # Regenerate the baseline after a deliberate cost change with:
 #   make bench-smoke BENCHJSON_FLAGS='-o testdata/bench_baseline.json'
-BENCHJSON_FLAGS ?= -o BENCH_5.json -baseline testdata/bench_baseline.json
+BENCHJSON_FLAGS ?= -o BENCH.json -baseline testdata/bench_baseline.json
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkFig12a_DiffSize$$/^d=200$$' -benchtime=1x . | tee bench.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkSPJNonConditionalUpdate$$' -benchtime=1x . | tee -a bench.txt
@@ -59,4 +64,15 @@ bench-smoke-sharded:
 	IDIVM_ENGINE=sharded:8 IDIVM_OP_WORKERS=4 $(GO) test -run '^$$' -bench '^BenchmarkFig12a_DiffSize$$/^d=200$$' -benchtime=1x . | tee bench_sharded.txt
 	IDIVM_ENGINE=sharded:8 IDIVM_OP_WORKERS=4 $(GO) test -run '^$$' -bench '^BenchmarkSPJNonConditionalUpdate$$' -benchtime=1x . | tee -a bench_sharded.txt
 	IDIVM_ENGINE=sharded:8 IDIVM_OP_WORKERS=4 $(GO) test -run '^$$' -bench '^BenchmarkScanHeavyRecompute$$' -benchtime=1x . | tee -a bench_sharded.txt
-	$(GO) run ./cmd/benchjson -o BENCH_5_sharded.json bench_sharded.txt
+	$(GO) run ./cmd/benchjson -o BENCH_sharded.json bench_sharded.txt
+
+# bench-smoke-serving mirrors CI's bench-serving lane: BenchmarkServing's
+# replay lane reports accesses/op — the deterministic apply+maintenance
+# cost of one 100-write group-commit batch — and gates against the same
+# baseline; the concurrent lane's p50-ns/p99-ns/rounds-per-sec are
+# wall-clock and land in BENCH_7.json as informational columns only
+# (benchjson refuses to gate on them).
+BENCHJSON_SERVING_FLAGS ?= -o BENCH_7.json -baseline testdata/bench_baseline.json
+bench-smoke-serving:
+	$(GO) test -run '^$$' -bench '^BenchmarkServing$$' -benchtime=2000x . | tee bench_serving.txt
+	$(GO) run ./cmd/benchjson $(BENCHJSON_SERVING_FLAGS) bench_serving.txt

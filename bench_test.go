@@ -20,14 +20,19 @@ package idivm_test
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
+	"sync"
 	"testing"
+	"time"
 
 	"idivm/internal/algebra"
 	"idivm/internal/bsma"
 	"idivm/internal/harness"
 	"idivm/internal/ivm"
+	"idivm/internal/rel"
 	"idivm/internal/sdbt"
+	"idivm/internal/serve"
 	"idivm/internal/workload"
 )
 
@@ -365,4 +370,154 @@ func BenchmarkAblation_Minimization(b *testing.B) {
 	p := benchWorkloadParams()
 	b.Run("minimized", func(b *testing.B) { benchIVMOpts(b, p, ivm.GenOptions{}) })
 	b.Run("raw", func(b *testing.B) { benchIVMOpts(b, p, ivm.GenOptions{NoMinimize: true}) })
+}
+
+// servingBenchParts sizes the serving benchmark's dataset: big enough for
+// rounds to do real work, small enough for the CI smoke lane.
+const servingBenchParts = 1000
+
+// servingSetup builds the running-example dataset with the SPJ view
+// registered and a serving layer attached.
+func servingSetup(b *testing.B, opts serve.Options) (*workload.Dataset, *serve.Server) {
+	b.Helper()
+	p := workload.Defaults(servingBenchParts)
+	p.Devices = servingBenchParts
+	p.Fanout = 5
+	p.Selectivity = 20
+	ds := workload.Build(p)
+	sys := ivm.NewSystem(ds.DB)
+	sys.OpWorkers = benchOpWorkers()
+	if _, err := sys.RegisterView("V", ds.SPJPlan(), ivm.ModeID); err != nil {
+		b.Fatal(err)
+	}
+	ds.DB.Counter().Reset()
+	return ds, serve.New(ds.DB, sys, opts)
+}
+
+// percentileNs picks the p-th percentile (0..100) of sorted latencies.
+func percentileNs(sorted []time.Duration, p int) float64 {
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i].Nanoseconds())
+}
+
+// BenchmarkServing exercises the concurrent serving layer.
+//
+// The "concurrent" sub-benchmark is the tentpole measurement: the bench
+// goroutine reads ViewSnapshot in a tight loop while background readers
+// and group-commit writers keep maintenance rounds continuously in
+// flight. It reports read-latency percentiles (p50-ns, p99-ns) and
+// maintenance throughput (rounds/sec). All three are wall-clock —
+// machine-dependent and report-only, never gated.
+//
+// The "replay" sub-benchmark is the deterministic lane: one goroutine
+// enqueues a fixed batch of price updates and flushes, so accesses/op —
+// the apply plus maintenance cost of one group-commit batch — is an
+// exact count the CI baseline gates on, like every other bench row.
+func BenchmarkServing(b *testing.B) {
+	b.Run("concurrent", func(b *testing.B) {
+		const writers = 2
+		const bgReaders = 2
+		_, srv := servingSetup(b, serve.Options{MaxBatch: 64, MaxDelay: 200 * time.Microsecond})
+		defer srv.Close()
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				price := 0
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// Blocking updates pace each writer to the round rate.
+					pid := (w*servingBenchParts/writers + price) % servingBenchParts
+					price++
+					_ = srv.Update("parts",
+						[]rel.Value{rel.Int(int64(pid))},
+						[]string{"price"}, []rel.Value{rel.Int(int64(price))})
+				}
+			}(w)
+		}
+		for r := 0; r < bgReaders; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := srv.ViewSnapshot("V"); err != nil {
+						return
+					}
+				}
+			}()
+		}
+
+		lat := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		start := time.Now()
+		r0 := srv.Stats().Rounds
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, err := srv.ViewSnapshot("V"); err != nil {
+				b.Fatal(err)
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		rounds := srv.Stats().Rounds - r0
+		elapsed := time.Since(start)
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		b.ReportMetric(percentileNs(lat, 50), "p50-ns")
+		b.ReportMetric(percentileNs(lat, 99), "p99-ns")
+		b.ReportMetric(float64(rounds)/elapsed.Seconds(), "rounds/sec")
+	})
+
+	b.Run("replay", func(b *testing.B) {
+		const batch = 100
+		// Never auto-cut: each iteration's Flush commits exactly one batch.
+		ds, srv := servingSetup(b, serve.Options{MaxBatch: 1 << 20, MaxDelay: time.Hour})
+		defer srv.Close()
+
+		var accesses int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			ds.DB.Counter().Reset()
+			b.StartTimer()
+			pend := make([]*serve.Pending, 0, batch)
+			for j := 0; j < batch; j++ {
+				// 7 is coprime to servingBenchParts: batch keys are distinct.
+				pid := j * 7 % servingBenchParts
+				pend = append(pend, srv.EnqueueUpdate("parts",
+					[]rel.Value{rel.Int(int64(pid))},
+					[]string{"price"}, []rel.Value{rel.Int(int64(1000 + i))}))
+			}
+			if err := srv.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range pend {
+				if err := p.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			accesses += ds.DB.Counter().Total()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
+	})
 }

@@ -9,13 +9,19 @@
 //
 // Every benchmark line is parsed into its full metric set: ns/op, the
 // B/op + allocs/op columns emitted by testing.B.ReportAllocs, and any
-// testing.B.ReportMetric columns such as accesses/op. The regression gate
-// compares one metric — by default accesses/op, which is a deterministic
-// count in this repository, unlike ns/op — and exits non-zero when the
-// current value exceeds baseline*(1+threshold). Each report line also shows
-// the ns/op delta as a purely informational column; wall-clock never gates.
-// Benchmarks present only on one side are reported but do not fail the
-// gate, so benchmarks can be added before the baseline is regenerated.
+// testing.B.ReportMetric columns such as accesses/op. Latency and
+// throughput columns (units ending in "-ns" or "/sec", like the serving
+// benchmark's p50-ns, p99-ns and rounds/sec) are split into a separate
+// informational set: they land in the JSON document's "informational"
+// field, show up as INFO lines in the gate report, and can never be
+// gated on — they are wall-clock, machine-dependent numbers. The
+// regression gate compares one metric — by default accesses/op, which
+// is a deterministic count in this repository, unlike ns/op — and exits
+// non-zero when the current value exceeds baseline*(1+threshold). Each
+// report line also shows the ns/op delta as a purely informational
+// column; wall-clock never gates. Benchmarks present only on one side
+// are reported but do not fail the gate, so benchmarks can be added
+// before the baseline is regenerated.
 package main
 
 import (
@@ -26,15 +32,27 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// Benchmark is one parsed benchmark result.
+// Benchmark is one parsed benchmark result. Metrics holds the gateable
+// columns; Informational holds wall-clock latency/throughput columns
+// (see informationalUnit), which the gate never compares.
 type Benchmark struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
+	Name          string             `json:"name"`
+	Iterations    int64              `json:"iterations"`
+	Metrics       map[string]float64 `json:"metrics"`
+	Informational map[string]float64 `json:"informational,omitempty"`
+}
+
+// informationalUnit reports whether a metric column is report-only: the
+// serving benchmark's latency percentiles ("p50-ns", "p99-ns") and
+// throughput ("rounds/sec") are wall-clock measurements that vary across
+// machines, so they must never participate in the regression gate.
+func informationalUnit(unit string) bool {
+	return strings.HasSuffix(unit, "-ns") || strings.HasSuffix(unit, "/sec")
 }
 
 // Output is the top-level JSON document.
@@ -77,7 +95,14 @@ func parseBench(r io.Reader) ([]Benchmark, error) {
 				ok = false
 				break
 			}
-			b.Metrics[fields[i+1]] = v
+			if unit := fields[i+1]; informationalUnit(unit) {
+				if b.Informational == nil {
+					b.Informational = make(map[string]float64)
+				}
+				b.Informational[unit] = v
+			} else {
+				b.Metrics[unit] = v
+			}
 		}
 		if !ok {
 			continue
@@ -169,7 +194,30 @@ func compare(baseline, current []Benchmark, metric string, threshold float64) ([
 			lines = append(lines, fmt.Sprintf("NEW      %s: not in baseline (regenerate it to start gating)", b.Name))
 		}
 	}
+	lines = append(lines, infoLines(current)...)
 	return lines, regressed
+}
+
+// infoLines renders one report line per benchmark carrying informational
+// (report-only) metrics, columns in sorted order for stable output.
+func infoLines(benches []Benchmark) []string {
+	var lines []string
+	for _, b := range benches {
+		if len(b.Informational) == 0 {
+			continue
+		}
+		units := make([]string, 0, len(b.Informational))
+		for u := range b.Informational {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		cols := make([]string, len(units))
+		for i, u := range units {
+			cols[i] = fmt.Sprintf("%s %.1f", u, b.Informational[u])
+		}
+		lines = append(lines, fmt.Sprintf("INFO     %s: %s (report-only)", b.Name, strings.Join(cols, ", ")))
+	}
+	return lines
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -180,6 +228,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	metric := fs.String("metric", "accesses/op", "metric the baseline gate compares")
 	threshold := fs.Float64("threshold", 0.20, "allowed fractional regression for the gated metric")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if informationalUnit(*metric) {
+		fmt.Fprintf(stderr, "benchjson: metric %q is informational (wall-clock) and cannot gate\n", *metric)
 		return 2
 	}
 

@@ -52,6 +52,79 @@ func TestParseBenchLastResultWins(t *testing.T) {
 	}
 }
 
+// TestParseInformationalFixture parses a captured BenchmarkServing run:
+// the latency/throughput columns must land in Informational (never in
+// Metrics, where the gate could see them), while the replay lane's
+// accesses/op stays a gateable metric.
+func TestParseInformationalFixture(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "serving_bench.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := parseBench(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(got), got)
+	}
+	conc, replay := got[0], got[1]
+	if conc.Name != "BenchmarkServing/concurrent" || replay.Name != "BenchmarkServing/replay" {
+		t.Fatalf("unexpected names: %q, %q", conc.Name, replay.Name)
+	}
+	for _, unit := range []string{"p50-ns", "p99-ns", "rounds/sec"} {
+		if _, ok := conc.Informational[unit]; !ok {
+			t.Errorf("concurrent lane missing informational %q: %+v", unit, conc)
+		}
+		if _, ok := conc.Metrics[unit]; ok {
+			t.Errorf("%q leaked into gateable metrics: %+v", unit, conc)
+		}
+	}
+	if conc.Informational["p50-ns"] <= 0 || conc.Informational["p99-ns"] < conc.Informational["p50-ns"] {
+		t.Errorf("implausible latency percentiles: %+v", conc.Informational)
+	}
+	if _, ok := conc.Metrics["ns/op"]; !ok {
+		t.Errorf("ns/op must stay a plain metric: %+v", conc)
+	}
+	if replay.Metrics["accesses/op"] <= 0 {
+		t.Errorf("replay lane lost its gateable accesses/op: %+v", replay)
+	}
+	if len(replay.Informational) != 0 {
+		t.Errorf("replay lane has no informational columns, got %+v", replay.Informational)
+	}
+
+	// The report renders the latency columns as INFO lines.
+	lines := infoLines(got)
+	if len(lines) != 1 || !strings.Contains(lines[0], "INFO     BenchmarkServing/concurrent") ||
+		!strings.Contains(lines[0], "p50-ns") || !strings.Contains(lines[0], "report-only") {
+		t.Errorf("bad INFO rendering: %q", lines)
+	}
+
+	// The JSON document carries them under "informational".
+	raw, err := json.Marshal(Output{Benchmarks: got})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"informational"`) || !strings.Contains(string(raw), `"p99-ns"`) {
+		t.Errorf("JSON lacks informational section: %s", raw)
+	}
+}
+
+// TestGateRefusesInformationalMetric pins the report-only contract at the
+// CLI: asking the gate to compare a wall-clock column is an error, not a
+// silently green run.
+func TestGateRefusesInformationalMetric(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-metric", "p99-ns", filepath.Join("testdata", "serving_bench.txt")}, nil, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("run = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "informational") {
+		t.Errorf("unhelpful error: %s", stderr.String())
+	}
+}
+
 func mk(name string, accesses float64) Benchmark {
 	return Benchmark{Name: name, Iterations: 1, Metrics: map[string]float64{"accesses/op": accesses, "ns/op": 1}}
 }

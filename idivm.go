@@ -25,6 +25,7 @@ import (
 	"idivm/internal/db"
 	"idivm/internal/ivm"
 	"idivm/internal/rel"
+	"idivm/internal/serve"
 	"idivm/internal/sqlview"
 	"idivm/internal/storage"
 )
@@ -43,6 +44,7 @@ const (
 type DB struct {
 	d   *db.Database
 	sys *ivm.System
+	srv *serve.Server // non-nil when opened WithServing
 }
 
 // Engine selects the storage backend of a database; see MemEngine and
@@ -64,6 +66,7 @@ type Option func(*openConfig)
 type openConfig struct {
 	engine    Engine
 	opWorkers int
+	serving   *ServingOptions
 }
 
 // WithEngine selects the storage backend (default MemEngine()).
@@ -77,6 +80,28 @@ func WithEngine(e Engine) Option { return func(c *openConfig) { c.engine = e } }
 // and access counts are identical either way.
 func WithOpWorkers(n int) Option { return func(c *openConfig) { c.opWorkers = n } }
 
+// ServingOptions tunes the concurrent serving layer; see WithServing.
+// Zero MaxBatch and Queue pick the defaults (128 and 1024); MaxDelay has
+// no default — zero means immediate commit.
+type ServingOptions struct {
+	// MaxBatch cuts a group-commit batch at this many pending writes.
+	MaxBatch int
+	// MaxDelay cuts a batch this long after its first write, bounding
+	// write latency under trickle load. Zero commits every write
+	// immediately; set it explicitly for throughput.
+	MaxDelay time.Duration
+	// Queue is the write queue capacity; a full queue blocks enqueuers.
+	Queue int
+}
+
+// WithServing opens the database with the concurrent serving layer
+// attached: snapshot reads (ViewSnapshot/QuerySnapshot) become safe under
+// concurrent maintenance, and writes may be funneled through the
+// group-commit dispatcher (Serving()). Close the database when done.
+func WithServing(o ServingOptions) Option {
+	return func(c *openConfig) { c.serving = &o }
+}
+
 // Open creates an empty database.
 func Open(opts ...Option) *DB {
 	cfg := openConfig{engine: storage.NewMem()}
@@ -86,7 +111,25 @@ func Open(opts ...Option) *DB {
 	d := db.NewWith(cfg.engine)
 	sys := ivm.NewSystem(d)
 	sys.OpWorkers = cfg.opWorkers
-	return &DB{d: d, sys: sys}
+	x := &DB{d: d, sys: sys}
+	if cfg.serving != nil {
+		x.srv = serve.New(d, sys, serve.Options{
+			MaxBatch: cfg.serving.MaxBatch,
+			MaxDelay: cfg.serving.MaxDelay,
+			Queue:    cfg.serving.Queue,
+		})
+	}
+	return x
+}
+
+// Close stops the serving layer, if one is attached, committing any
+// queued writes in a final maintenance round. The database itself needs
+// no teardown.
+func (x *DB) Close() error {
+	if x.srv != nil {
+		return x.srv.Close()
+	}
+	return nil
 }
 
 // Columns is a convenience constructor for column name lists.
@@ -177,6 +220,31 @@ func (x *DB) MustInsert(table string, values ...any) {
 	}
 }
 
+// setLists converts an update's set map into schema-ordered attr/value
+// lists (deterministic order: follow the table schema).
+func (x *DB) setLists(table string, set map[string]any) ([]string, []rel.Value, error) {
+	t, err := x.d.Table(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	attrs := make([]string, 0, len(set))
+	vals := make([]rel.Value, 0, len(set))
+	for _, a := range t.Schema().Attrs {
+		if v, ok := set[a]; ok {
+			rv, err := toValue(v)
+			if err != nil {
+				return nil, nil, err
+			}
+			attrs = append(attrs, a)
+			vals = append(vals, rv)
+		}
+	}
+	if len(attrs) != len(set) {
+		return nil, nil, fmt.Errorf("idivm: update of %s sets unknown column(s) %v", table, set)
+	}
+	return attrs, vals, nil
+}
+
 // Update modifies the row with the given primary key, setting the named
 // columns. It reports whether a row was found.
 func (x *DB) Update(table string, key []any, set map[string]any) (bool, error) {
@@ -184,25 +252,9 @@ func (x *DB) Update(table string, key []any, set map[string]any) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	attrs := make([]string, 0, len(set))
-	vals := make([]rel.Value, 0, len(set))
-	// Deterministic order: follow the table schema.
-	t, err := x.d.Table(table)
+	attrs, vals, err := x.setLists(table, set)
 	if err != nil {
 		return false, err
-	}
-	for _, a := range t.Schema().Attrs {
-		if v, ok := set[a]; ok {
-			rv, err := toValue(v)
-			if err != nil {
-				return false, err
-			}
-			attrs = append(attrs, a)
-			vals = append(vals, rv)
-		}
-	}
-	if len(attrs) != len(set) {
-		return false, fmt.Errorf("idivm: update of %s sets unknown column(s) %v", table, set)
 	}
 	return x.d.Update(table, kt, attrs, vals)
 }
@@ -375,6 +427,163 @@ func (x *DB) AccessCounter() (reads, lookups, writes int64) {
 // ResetAccessCounter zeroes the counters.
 func (x *DB) ResetAccessCounter() { x.d.Counter().Reset() }
 
+// ViewSnapshot returns the contents of a materialized view as of the
+// last completed maintenance round. With serving attached it is safe
+// under a concurrent in-flight round: it never waits for the round and
+// never observes a torn state. The read is uncharged — it does not
+// perturb AccessCounter.
+func (x *DB) ViewSnapshot(name string) (*Rows, error) {
+	if x.srv != nil {
+		rr, err := x.srv.ViewSnapshot(name)
+		if err != nil {
+			return nil, err
+		}
+		return rowsFromRelation(rr), nil
+	}
+	t, err := x.d.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return rowsFromRelation(t.Relation(rel.StatePre)), nil
+}
+
+// unchargedEnv resolves stored tables to handles that discard their
+// access charges — the snapshot-read counterpart of the catalog env.
+type unchargedEnv struct{ d *db.Database }
+
+// Table implements algebra.Env.
+func (e unchargedEnv) Table(name string) (*storage.Handle, error) {
+	t, err := e.d.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.WithCounter(nil), nil
+}
+
+// Rel implements algebra.Env.
+func (e unchargedEnv) Rel(name string) (*rel.Relation, error) {
+	return nil, fmt.Errorf("idivm: no relation binding for %q", name)
+}
+
+// QuerySnapshot evaluates an ad-hoc SELECT against the snapshot of the
+// last completed maintenance round: every stored table in the plan reads
+// its pinned pre-state (views and logged base tables; an unlogged table
+// reads live). Safe under concurrent maintenance when serving is
+// attached, and uncharged either way.
+func (x *DB) QuerySnapshot(sql string) (*Rows, error) {
+	if x.srv != nil {
+		rr, err := x.srv.QuerySnapshot(sql)
+		if err != nil {
+			return nil, err
+		}
+		return rowsFromRelation(rr), nil
+	}
+	v, err := sqlview.Parse(sql, x.d)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := algebra.Eval(algebra.WithState(v.Plan, rel.StatePre), unchargedEnv{x.d})
+	if err != nil {
+		return nil, err
+	}
+	return rowsFromRelation(rr), nil
+}
+
+// PendingWrite is a handle on a write queued through the serving layer;
+// Wait blocks until its group-commit batch has been applied and
+// maintained.
+type PendingWrite = serve.Pending
+
+// ServingStats are the serving layer's own counters (snapshot reads,
+// retries, batches, rounds) — kept apart from AccessCounter so reader
+// traffic never perturbs the paper's cost metric.
+type ServingStats = serve.Stats
+
+// Serving is the concurrent write facade: its methods may be called from
+// many goroutines; the group-commit dispatcher funnels them into the
+// single-writer modification log and maintains views in batches.
+type Serving struct {
+	x *DB
+	s *serve.Server
+}
+
+// Serving returns the serving handle, or nil when the database was opened
+// without WithServing.
+func (x *DB) Serving() *Serving {
+	if x.srv == nil {
+		return nil
+	}
+	return &Serving{x: x, s: x.srv}
+}
+
+// Insert queues an insert and waits for its batch to commit.
+func (s *Serving) Insert(table string, values ...any) error {
+	return s.EnqueueInsert(table, values...).Wait()
+}
+
+// Update queues a primary-key update and waits for its batch to commit.
+// A missing key is not an error (no row, no modification).
+func (s *Serving) Update(table string, key []any, set map[string]any) error {
+	return s.EnqueueUpdate(table, key, set).Wait()
+}
+
+// Delete queues a primary-key delete and waits for its batch to commit.
+// A missing key is not an error.
+func (s *Serving) Delete(table string, key ...any) error {
+	return s.EnqueueDelete(table, key...).Wait()
+}
+
+// failedWrite resolves a Pending immediately with an error (for
+// conversion failures that never reach the dispatcher).
+func failedWrite(err error) *PendingWrite {
+	p := serve.NewFailedPending(err)
+	return p
+}
+
+// EnqueueInsert queues an insert for the next batch without waiting.
+func (s *Serving) EnqueueInsert(table string, values ...any) *PendingWrite {
+	t, err := toTuple(values)
+	if err != nil {
+		return failedWrite(err)
+	}
+	return s.s.EnqueueInsert(table, t)
+}
+
+// EnqueueUpdate queues a primary-key update for the next batch without
+// waiting.
+func (s *Serving) EnqueueUpdate(table string, key []any, set map[string]any) *PendingWrite {
+	kt, err := toTuple(key)
+	if err != nil {
+		return failedWrite(err)
+	}
+	attrs, vals, err := s.x.setLists(table, set)
+	if err != nil {
+		return failedWrite(err)
+	}
+	return s.s.EnqueueUpdate(table, kt, attrs, vals)
+}
+
+// EnqueueDelete queues a primary-key delete for the next batch without
+// waiting.
+func (s *Serving) EnqueueDelete(table string, key ...any) *PendingWrite {
+	kt, err := toTuple(key)
+	if err != nil {
+		return failedWrite(err)
+	}
+	return s.s.EnqueueDelete(table, kt)
+}
+
+// Flush commits everything queued so far in one maintenance round and
+// waits for it.
+func (s *Serving) Flush() error { return s.s.Flush() }
+
+// Stats returns the serving layer's cumulative counters.
+func (s *Serving) Stats() ServingStats { return s.s.Stats() }
+
 // Unwrap exposes the internal database for advanced integrations within
 // this module (the experiment harness and benchmarks).
 func (x *DB) Unwrap() (*db.Database, *ivm.System) { return x.d, x.sys }
+
+// UnwrapServer exposes the internal serving layer (nil without
+// WithServing) for the benchmarks and tests in this module.
+func (x *DB) UnwrapServer() *serve.Server { return x.srv }

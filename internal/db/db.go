@@ -13,6 +13,7 @@ package db
 
 import (
 	"fmt"
+	"sync"
 
 	"idivm/internal/rel"
 	"idivm/internal/storage"
@@ -55,17 +56,24 @@ type Modification struct {
 // implements algebra.Env (with no relation bindings; the IVM executor
 // layers bindings on top).
 //
-// Concurrency contract: catalog mutations (CreateTable/AddTable/DropTable/
-// EnableLogging) and base-table modifications (Insert/Delete/Update, which
-// append to the log and open epochs) are single-writer operations issued
-// between maintenance rounds. During a maintenance round the catalog and
-// log are read-only, so the parallel Δ-script executor may resolve tables
-// and compact the log from many goroutines; per-row thread-safety lives in
-// the storage backend, and cost attribution is sharded via
-// storage.Handle.WithCounter with MergeCounter folding the shards back
-// here.
+// Concurrency contract: base-table modifications (Insert/Delete/Update,
+// which append to the log and open epochs) are single-writer operations
+// issued between maintenance rounds — the serving layer's group-commit
+// dispatcher is that writer when one is attached. During a maintenance
+// round the catalog and log are read-only, so the parallel Δ-script
+// executor may resolve tables and compact the log from many goroutines;
+// per-row thread-safety lives in the storage backend, and cost attribution
+// is sharded via storage.Handle.WithCounter with MergeCounter folding the
+// shards back here.
+//
+// The catalog maps themselves (tables/order/logging) are guarded by mu so
+// that epoch-pinned snapshot readers may resolve handles and schemas
+// concurrently with catalog mutations (view registration creates tables).
+// The modification log and the counter stay single-writer: they are only
+// touched by the modification/maintenance path.
 type Database struct {
 	engine  storage.Engine
+	mu      sync.RWMutex // guards tables, order, logging
 	tables  map[string]*storage.Handle
 	order   []string
 	counter rel.CostCounter
@@ -99,6 +107,8 @@ func (d *Database) MergeCounter(c rel.CostCounter) { d.counter.Add(c) }
 // CreateTable allocates a new stored table on the engine and registers it
 // under the given bare-name schema.
 func (d *Database) CreateTable(name string, schema rel.Schema) (*storage.Handle, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if _, dup := d.tables[name]; dup {
 		return nil, fmt.Errorf("db: table %q already exists", name)
 	}
@@ -127,6 +137,8 @@ func (d *Database) MustCreateTable(name string, schema rel.Schema) *storage.Hand
 // charges the database-wide counter. The table must not already be
 // wrapped in a *storage.Handle — that would double-charge every access.
 func (d *Database) AddTable(t storage.Table) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if _, dup := d.tables[t.Name()]; dup {
 		return fmt.Errorf("db: table %q already exists", t.Name())
 	}
@@ -139,6 +151,8 @@ func (d *Database) AddTable(t storage.Table) error {
 
 // DropTable removes a table from the catalog.
 func (d *Database) DropTable(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if _, ok := d.tables[name]; !ok {
 		return
 	}
@@ -153,7 +167,9 @@ func (d *Database) DropTable(name string) {
 
 // Table implements algebra.Env.
 func (d *Database) Table(name string) (*storage.Handle, error) {
+	d.mu.RLock()
 	t, ok := d.tables[name]
+	d.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("db: unknown table %q", name)
 	}
@@ -166,17 +182,29 @@ func (d *Database) Rel(name string) (*rel.Relation, error) {
 }
 
 // TableNames returns the registered table names in creation order.
-func (d *Database) TableNames() []string { return append([]string(nil), d.order...) }
+func (d *Database) TableNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]string(nil), d.order...)
+}
 
 // EnableLogging marks a table's modifications for logging. The IVM system
 // enables it for every base table of a registered view.
-func (d *Database) EnableLogging(table string) { d.logging[table] = true }
+func (d *Database) EnableLogging(table string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.logging[table] = true
+}
 
 // LoggingEnabled reports whether modifications to the table are logged.
-func (d *Database) LoggingEnabled(table string) bool { return d.logging[table] }
+func (d *Database) LoggingEnabled(table string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.logging[table]
+}
 
 func (d *Database) beginEpochIfLogged(t *storage.Handle) {
-	if d.logging[t.Name()] && !t.InEpoch() {
+	if d.LoggingEnabled(t.Name()) && !t.InEpoch() {
 		t.BeginEpoch()
 	}
 }
@@ -191,7 +219,7 @@ func (d *Database) Insert(table string, row rel.Tuple) error {
 	if err := t.Insert(row); err != nil {
 		return err
 	}
-	if d.logging[table] {
+	if d.LoggingEnabled(table) {
 		d.log = append(d.log, Modification{Kind: ModInsert, Table: table, Post: row.Clone()})
 	}
 	return nil
@@ -213,7 +241,7 @@ func (d *Database) Delete(table string, key []rel.Value) (bool, error) {
 	if !t.DeleteKey(key) {
 		return false, nil
 	}
-	if d.logging[table] {
+	if d.LoggingEnabled(table) {
 		d.log = append(d.log, Modification{Kind: ModDelete, Table: table, Pre: preCopy})
 	}
 	return true, nil
@@ -237,7 +265,7 @@ func (d *Database) Update(table string, key []rel.Value, setAttrs []string, setV
 		return changed, err
 	}
 	post, _ := t.Get(rel.StatePost, key)
-	if d.logging[table] {
+	if d.LoggingEnabled(table) {
 		d.log = append(d.log, Modification{Kind: ModUpdate, Table: table, Pre: preCopy, Post: post.Clone()})
 	}
 	return true, nil
@@ -246,13 +274,24 @@ func (d *Database) Update(table string, key []rel.Value, setAttrs []string, setV
 // Log returns the modifications logged since the last ResetLog.
 func (d *Database) Log() []Modification { return d.log }
 
+// ClearLog clears the modification log without touching any epochs — the
+// pinned-epoch maintenance path (ivm.System.PinEpochs) keeps every served
+// table in a permanent epoch and advances the snapshots itself.
+func (d *Database) ClearLog() { d.log = nil }
+
 // ResetLog clears the modification log and closes the epochs of all
 // logged base tables: the views are now consistent with the post-state.
 func (d *Database) ResetLog() {
 	d.log = nil
+	d.mu.RLock()
+	var logged []*storage.Handle
 	for _, name := range d.order {
 		if d.logging[name] {
-			d.tables[name].EndEpoch()
+			logged = append(logged, d.tables[name])
 		}
+	}
+	d.mu.RUnlock()
+	for _, t := range logged {
+		t.EndEpoch()
 	}
 }

@@ -188,7 +188,10 @@ func runScript(d *db.Database, s *Script, bindings map[string]*rel.Relation, ver
 		if err != nil {
 			return nil, fmt.Errorf("ivm: script target %q not materialized: %w", name, err)
 		}
-		if preRead[name] {
+		// Skip tables already in an epoch (e.g. pinned for the whole round
+		// by System.MaintainAll under PinEpochs): their lifecycle belongs
+		// to whoever opened them, and BeginEpoch would be a no-op anyway.
+		if preRead[name] && !t.InEpoch() {
 			t.BeginEpoch()
 			opened = append(opened, name)
 		}

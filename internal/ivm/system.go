@@ -7,6 +7,7 @@ import (
 	"idivm/internal/algebra"
 	"idivm/internal/db"
 	"idivm/internal/rel"
+	"idivm/internal/storage"
 )
 
 // Mode selects between the paper's ID-based diff propagation (idIVM) and
@@ -45,6 +46,26 @@ type Report struct {
 	DiffTuples int
 }
 
+// RoundHooks observe the lifecycle of a MaintainAll round. The serving
+// layer (internal/serve) uses them to coordinate epoch-pinned snapshot
+// readers with the round's unpin window; tests use them to hold a round
+// open. All three are optional (nil = no-op) and are called from the
+// goroutine driving MaintainAll:
+//
+//   - RoundBegin: the round's epochs are pinned (with PinEpochs, every
+//     view/cache table is in an epoch) and maintenance is about to run.
+//     Pre-state reads are stable from here on.
+//   - UnpinBegin: maintenance finished; the pinned epochs are about to
+//     close, so pre-state identities are about to move to the new
+//     post-state. Snapshot readers overlapping this window must retry.
+//   - RoundEnd: epochs are closed and (on success) the log is reset; the
+//     post-state is the new consistent snapshot.
+type RoundHooks struct {
+	RoundBegin func()
+	UnpinBegin func()
+	RoundEnd   func()
+}
+
 // System is the idIVM engine of Figure 3: it owns view registration
 // (base-table i-diff schema generation + Δ-script generation), and view
 // maintenance (i-diff instance generation from the modification log +
@@ -72,6 +93,19 @@ type System struct {
 	// compute step (partition-parallel scans, join probes/builds, group-by
 	// pre-aggregation). Orthogonal to Workers; see ExecOptions.OpWorkers.
 	OpWorkers int
+	// PinEpochs keeps every view, cache and logged base table in a
+	// permanent maintenance epoch: MaintainAll pins any not yet pinned at
+	// round start and, at round end, atomically advances each snapshot to
+	// the new post-state (AdvanceEpoch) instead of closing the epochs. A
+	// concurrent snapshot reader therefore always resolves StatePre to
+	// some completed round's frozen state, never to live storage. On a
+	// failed round nothing advances — readers keep the last good state
+	// and the log is retained for retry. Epoch operations are uncharged,
+	// so access counts are byte-identical with the flag on or off. Set by
+	// the serving layer (internal/serve).
+	PinEpochs bool
+	// Hooks receive round lifecycle notifications; see RoundHooks.
+	Hooks RoundHooks
 }
 
 // NewSystem creates an idIVM system over a database.
@@ -241,27 +275,106 @@ func (s *System) maintain(name string, opts ExecOptions) (*Report, error) {
 // and charges a private counter shard, merged into the database counter in
 // registration order once all views complete — so reports and totals are
 // those of the sequential run.
+//
+// With PinEpochs set, the round is bracketed for concurrent snapshot
+// readers: every view and cache table is placed in a maintenance epoch
+// before the first step runs and released only after the log is reset, so
+// StatePre reads anywhere inside the round observe exactly the previous
+// round's post-state. The Hooks fire around the pinned window; on error
+// the pinned epochs are still released (the log is kept, matching the
+// sequential early-return contract).
 func (s *System) MaintainAll() ([]*Report, error) {
-	if s.Workers > 1 && len(s.order) > 1 {
-		return s.maintainAllParallel()
+	if s.PinEpochs {
+		s.PinAllEpochs()
+	}
+	if s.Hooks.RoundBegin != nil {
+		s.Hooks.RoundBegin()
 	}
 	var out []*Report
-	for _, name := range s.order {
-		r, err := s.Maintain(name)
-		if err != nil {
-			return out, err
+	var err error
+	if s.Workers > 1 && len(s.order) > 1 {
+		out, err = s.maintainAllParallel()
+	} else {
+		for _, name := range s.order {
+			var r *Report
+			if r, err = s.Maintain(name); err != nil {
+				break
+			}
+			out = append(out, r)
 		}
-		out = append(out, r)
 	}
-	s.DB.ResetLog()
-	return out, nil
+	if s.Hooks.UnpinBegin != nil {
+		s.Hooks.UnpinBegin()
+	}
+	if err == nil {
+		if s.PinEpochs {
+			// The pinned path never leaves the epoch: clear the consumed
+			// log, then atomically refreeze every served table's snapshot
+			// at the new post-state. A failed round skips both, so
+			// readers keep the last good state and the log is retained.
+			s.DB.ClearLog()
+			for _, t := range s.epochTables() {
+				t.AdvanceEpoch()
+			}
+		} else {
+			s.DB.ResetLog()
+		}
+	}
+	if s.Hooks.RoundEnd != nil {
+		s.Hooks.RoundEnd()
+	}
+	return out, err
+}
+
+// epochTables returns the handles of every table serving snapshot readers
+// care about, in deterministic order: each view and its caches
+// (registration order), then every logged base table (catalog order).
+func (s *System) epochTables() []*storage.Handle {
+	var out []*storage.Handle
+	seen := make(map[string]bool)
+	add := func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		if t, err := s.DB.Table(name); err == nil {
+			out = append(out, t)
+		}
+	}
+	for _, name := range s.order {
+		v := s.views[name]
+		add(v.Name)
+		for _, c := range v.Script.Caches {
+			add(c.Name)
+		}
+	}
+	for _, name := range s.DB.TableNames() {
+		if s.DB.LoggingEnabled(name) {
+			add(name)
+		}
+	}
+	return out
+}
+
+// PinAllEpochs opens a maintenance epoch on every view, cache and logged
+// base table not already in one. The serving layer calls it at attach
+// time (and MaintainAll at every pinned round start) so snapshot readers
+// are epoch-isolated from live storage from the very first batch. Epoch
+// operations are uncharged, so counters are unaffected.
+func (s *System) PinAllEpochs() {
+	for _, t := range s.epochTables() {
+		if !t.InEpoch() {
+			t.BeginEpoch()
+		}
+	}
 }
 
 // maintainAllParallel fans the registered views out over the worker pool.
 // On failure it reports the erroring view earliest in registration order,
 // with the reports of the views registered before it; views after it may
 // or may not have been maintained, exactly as consistent as the sequential
-// path's early return leaves them.
+// path's early return leaves them. Log reset and epoch release belong to
+// MaintainAll.
 func (s *System) maintainAllParallel() ([]*Report, error) {
 	n := len(s.order)
 	reports := make([]*Report, n)
@@ -280,7 +393,6 @@ func (s *System) maintainAllParallel() ([]*Report, error) {
 		}
 		out = append(out, reports[i])
 	}
-	s.DB.ResetLog()
 	return out, nil
 }
 

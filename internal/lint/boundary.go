@@ -10,12 +10,14 @@ import (
 )
 
 // goStmtExemptFiles are the blessed goroutine-launch files, one per linted
-// package: the Δ-script scheduler owning internal/ivm's worker pool and
-// the operator pool owning internal/algebra's. Everything else must route
-// concurrency through them.
+// package: the Δ-script scheduler owning internal/ivm's worker pool, the
+// operator pool owning internal/algebra's, and the serving layer's
+// group-commit dispatcher. Everything else must route concurrency through
+// them.
 var goStmtExemptFiles = map[string]bool{
-	"sched.go": true, // internal/ivm: step-DAG scheduler + view parallel-for
-	"pool.go":  true, // internal/algebra: intra-operator kernel pool
+	"sched.go":    true, // internal/ivm: step-DAG scheduler + view parallel-for
+	"pool.go":     true, // internal/algebra: intra-operator kernel pool
+	"dispatch.go": true, // internal/serve: group-commit dispatcher goroutine
 }
 
 // AnalyzerGoStmt flags naked `go` statements in the executor packages
@@ -29,7 +31,7 @@ var AnalyzerGoStmt = register(&Analyzer{
 	Name: "gostmt",
 	Doc:  "goroutines launched outside the blessed worker-pool files",
 	AppliesTo: func(rel string) bool {
-		return pathIn(rel, "internal/ivm", "internal/algebra")
+		return pathIn(rel, "internal/ivm", "internal/algebra", "internal/serve")
 	},
 	AppliesToTests: func(rel string) bool {
 		return pathIn(rel, "internal")
@@ -47,7 +49,7 @@ func runGoStmt(pass *Pass) {
 			if !ok {
 				return true
 			}
-			pass.Reportf(gs.Pos(), "goroutine launched outside the blessed pool files (sched.go, pool.go); "+
+			pass.Reportf(gs.Pos(), "goroutine launched outside the blessed pool files (sched.go, pool.go, dispatch.go); "+
 				"route concurrency through the worker pool "+
 				"(or annotate with //ivmlint:allow gostmt)")
 			return true

@@ -434,6 +434,25 @@ func (t *Table) BeginEpoch() {
 	if c.inEpoch {
 		return
 	}
+	c.snapshotLocked()
+}
+
+// AdvanceEpoch atomically replaces the pre-state snapshot with the
+// current contents — EndEpoch plus BeginEpoch under a single critical
+// section, so a concurrent StatePre reader always resolves either the old
+// or the new frozen snapshot and never live storage. The serving layer
+// uses it to move readers to the next round's state without ever leaving
+// the epoch.
+func (t *Table) AdvanceEpoch() {
+	c := t.core
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snapshotLocked()
+}
+
+// snapshotLocked (re)freezes the current contents as the pre-state; the
+// caller holds the write lock.
+func (c *tableCore) snapshotLocked() {
 	c.inEpoch = true
 	c.epochMutated = false
 	c.preRows = append([]Tuple(nil), c.rows...)

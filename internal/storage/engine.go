@@ -100,6 +100,12 @@ type Table interface {
 	// UpdateKey updates the single row with the given primary key.
 	UpdateKey(key []rel.Value, setAttrs []string, setVals []rel.Value) (bool, error)
 
+	// AdvanceEpoch atomically refreezes the pre-state at the current
+	// contents (EndEpoch + BeginEpoch in one step): concurrent StatePre
+	// readers resolve either the old or the new frozen snapshot, never
+	// live storage. Sharded backends may advance shard by shard; callers
+	// needing cross-shard atomicity must coordinate above this interface.
+	AdvanceEpoch()
 	// BeginEpoch freezes the current contents as the pre-state; subsequent
 	// mutations affect only the post-state (deferred IVM, Section 3).
 	BeginEpoch()

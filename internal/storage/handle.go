@@ -235,6 +235,9 @@ func (h *Handle) UpdateKey(key []rel.Value, setAttrs []string, setVals []rel.Val
 // BeginEpoch implements Table (uncharged).
 func (h *Handle) BeginEpoch() { h.t.BeginEpoch() }
 
+// AdvanceEpoch implements Table (uncharged).
+func (h *Handle) AdvanceEpoch() { h.t.AdvanceEpoch() }
+
 // EndEpoch implements Table (uncharged).
 func (h *Handle) EndEpoch() { h.t.EndEpoch() }
 

@@ -252,6 +252,14 @@ func (t *shardTable) BeginEpoch() {
 	}
 }
 
+// AdvanceEpoch implements Table. Each shard advances atomically but the
+// sweep across shards is not; the serving layer's seqlock brackets it.
+func (t *shardTable) AdvanceEpoch() {
+	for _, sh := range t.shards {
+		sh.AdvanceEpoch()
+	}
+}
+
 // EndEpoch implements Table.
 func (t *shardTable) EndEpoch() {
 	for _, sh := range t.shards {
