@@ -40,17 +40,23 @@ lint-json:
 	$(GO) run ./cmd/ivmlint -o lint.json ./...
 
 # bench-smoke mirrors CI's benchmark regression gate: a one-iteration run
-# of the Figure 12a (d=200) and SPJ headline benchmarks, converted to
-# BENCH.json (ns/op, allocs/op and accesses/op per row) and compared
-# against testdata/bench_baseline.json on the deterministic accesses/op
-# metric (>20% worse fails; ns/op appears as an informational column).
+# of the Figure 12a (d=200) and SPJ headline benchmarks plus the columnar
+# kernel microbenchmarks, converted to BENCH.json (ns/op, allocs/op and
+# accesses/op per row) and compared against testdata/bench_baseline.json
+# on the deterministic accesses/op metric (>20% worse fails; ns/op and
+# allocs/op appear as informational columns — gate on allocations with
+# BENCHJSON_FLAGS='... -metric allocs/op'). The SPJBatchedMaintenance row
+# runs under IDIVM_BATCH_SIZE=1024: its accesses/op must match the
+# SPJNonConditionalUpdate/id row — batching is invisible to the cost model.
 # Regenerate the baseline after a deliberate cost change with:
 #   make bench-smoke BENCHJSON_FLAGS='-o testdata/bench_baseline.json'
 BENCHJSON_FLAGS ?= -o BENCH.json -baseline testdata/bench_baseline.json
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkFig12a_DiffSize$$/^d=200$$' -benchtime=1x . | tee bench.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkSPJNonConditionalUpdate$$' -benchtime=1x . | tee -a bench.txt
+	IDIVM_BATCH_SIZE=1024 $(GO) test -run '^$$' -bench '^BenchmarkSPJBatchedMaintenance$$' -benchtime=1x . | tee -a bench.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkScanHeavyRecompute$$' -benchtime=1x . | tee -a bench.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkBatch(Filter|HashJoin)$$' -benchtime=1x . | tee -a bench.txt
 	$(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS) bench.txt
 
 # bench-smoke-sharded re-runs the same subset on the hash-partitioned

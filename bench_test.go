@@ -28,6 +28,8 @@ import (
 
 	"idivm/internal/algebra"
 	"idivm/internal/bsma"
+	"idivm/internal/db"
+	"idivm/internal/expr"
 	"idivm/internal/harness"
 	"idivm/internal/ivm"
 	"idivm/internal/rel"
@@ -74,12 +76,29 @@ func benchOpWorkers() int {
 	return n
 }
 
+// benchBatchSize reads $IDIVM_BATCH_SIZE, the bench-smoke knob that runs
+// every compiled compute step through the columnar batch kernels
+// (0 = tuple mode). Access counts are invariant under the knob, so the
+// gated accesses/op column is unaffected; only ns/op and allocs/op move.
+func benchBatchSize() int {
+	v := os.Getenv("IDIVM_BATCH_SIZE")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		panic(fmt.Sprintf("bad IDIVM_BATCH_SIZE %q", v))
+	}
+	return n
+}
+
 func benchIVM(b *testing.B, p workload.Params, agg bool, mode ivm.Mode, workers int) {
 	b.Helper()
 	ds := workload.Build(p)
 	sys := ivm.NewSystem(ds.DB)
 	sys.Workers = workers
 	sys.OpWorkers = benchOpWorkers()
+	sys.BatchSize = benchBatchSize()
 	plan := ds.SPJPlan()
 	if agg {
 		plan = ds.AggPlan()
@@ -270,14 +289,28 @@ func BenchmarkSPJNonConditionalUpdate(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) { benchIVM(b, p, false, ivm.ModeID, benchWorkers) })
 }
 
-// opBenchEnv grants a database environment intra-operator workers,
-// engaging the partition-parallel kernels in compiled plans.
+// BenchmarkSPJBatchedMaintenance is the bench-smoke lane for the
+// IDIVM_BATCH_SIZE knob: the same workload and Δ-script as
+// BenchmarkSPJNonConditionalUpdate/id, but bench-smoke runs it under
+// IDIVM_BATCH_SIZE=1024 so the full maintenance path (not just isolated
+// kernels) flows through the columnar executor. Its own name keeps the
+// tuple-mode row intact in BENCH.json; the gated accesses/op must equal
+// the /id row's — batching is invisible to the cost model.
+func BenchmarkSPJBatchedMaintenance(b *testing.B) {
+	benchIVM(b, benchWorkloadParams(), false, ivm.ModeID, 1)
+}
+
+// opBenchEnv grants a database environment intra-operator workers and a
+// batch size, engaging the partition-parallel and/or columnar kernels in
+// compiled plans.
 type opBenchEnv struct {
 	algebra.Env
-	w int
+	w  int
+	bs int
 }
 
 func (e *opBenchEnv) OpWorkers() int { return e.w }
+func (e *opBenchEnv) BatchSize() int { return e.bs }
 
 // BenchmarkScanHeavyRecompute measures full recomputation of the Figure 1b
 // (SPJ) and Figure 5b (aggregate) views over a ~200k-row devices_parts
@@ -305,9 +338,10 @@ func BenchmarkScanHeavyRecompute(b *testing.B) {
 		for _, w := range []struct {
 			name string
 			n    int
-		}{{"seq", 1}, {"op4", 4}} {
+			bs   int
+		}{{"seq", 1, 0}, {"op4", 4, 0}, {"b1024", 1, 1024}, {"b1024-op4", 4, 1024}} {
 			b.Run(v.name+"/"+w.name, func(b *testing.B) {
-				env := &opBenchEnv{Env: ds.DB, w: w.n}
+				env := &opBenchEnv{Env: ds.DB, w: w.n, bs: w.bs}
 				var accesses, rows int64
 				b.ReportAllocs()
 				b.ResetTimer()
@@ -325,6 +359,95 @@ func BenchmarkScanHeavyRecompute(b *testing.B) {
 			})
 		}
 	}
+}
+
+// batchBenchDB builds a ~200k-row table exercising the typed batch
+// columns: an int key, a small int group column, and a value column
+// mixing ints, floats and NULLs.
+func batchBenchDB(b *testing.B, rows int) *db.Database {
+	b.Helper()
+	d := db.New()
+	big := d.MustCreateTable("big", rel.NewSchema([]string{"k", "grp", "val"}, []string{"k"}))
+	for i := 0; i < rows; i++ {
+		var v rel.Value
+		switch i % 7 {
+		case 0:
+			v = rel.Null()
+		case 1, 2:
+			v = rel.Float(float64(i) * 0.3)
+		default:
+			v = rel.Int(int64(i % 97))
+		}
+		big.MustInsert(rel.Int(int64(i)), rel.Int(int64(i%13)), v)
+	}
+	return d
+}
+
+// runCompiledBench measures repeated runs of one compiled plan in tuple
+// mode and at BatchSize=1024, reporting the gated accesses/op (identical
+// across modes by construction) plus rows/op.
+func runCompiledBench(b *testing.B, d *db.Database, plan algebra.Node) {
+	compiled, err := algebra.Compile(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []struct {
+		name string
+		bs   int
+	}{{"tuple", 0}, {"b1024", 1024}} {
+		b.Run(m.name, func(b *testing.B) {
+			env := &opBenchEnv{Env: d, w: 1, bs: m.bs}
+			var accesses, rows int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Counter().Reset()
+				r, err := compiled.Run(env)
+				if err != nil {
+					b.Fatal(err)
+				}
+				accesses += d.Counter().Total()
+				rows += int64(r.Len())
+			}
+			b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
+			b.ReportMetric(float64(rows)/float64(b.N), "rows/op")
+		})
+	}
+}
+
+// BenchmarkBatchFilter isolates the σ kernels: a conjunctive comparison
+// filter over a 200k-row scan, tuple mode vs the type-specialized batch
+// predicate loops. Access counts (the full scan) are identical; the
+// delta is pure per-row execution overhead.
+func BenchmarkBatchFilter(b *testing.B) {
+	d := batchBenchDB(b, 200000)
+	sch := rel.NewSchema([]string{"k", "grp", "val"}, []string{"k"})
+	plan := algebra.NewSelect(algebra.NewScan("big", "", sch),
+		expr.And(
+			expr.Lt(expr.C("big.grp"), expr.IntLit(7)),
+			expr.Gt(expr.C("big.k"), expr.IntLit(1000))))
+	runCompiledBench(b, d, plan)
+}
+
+// BenchmarkBatchHashJoin isolates the hash-join kernels: a self-join of
+// two 200k-row derived projections, tuple mode's string-keyed hash table
+// vs the batch FNV-digest build and gather-pair probe. Both sides are
+// derived, so the only charged accesses are the two scans.
+func BenchmarkBatchHashJoin(b *testing.B) {
+	d := batchBenchDB(b, 200000)
+	sch := rel.NewSchema([]string{"k", "grp", "val"}, []string{"k"})
+	scan := func() algebra.Node { return algebra.NewScan("big", "", sch) }
+	plan := algebra.NewJoin(
+		algebra.NewProject(scan(), []algebra.ProjItem{
+			{E: expr.C("big.k"), As: "lk"},
+			{E: expr.C("big.grp"), As: "lg"},
+		}),
+		algebra.NewProject(scan(), []algebra.ProjItem{
+			{E: expr.C("big.k"), As: "rk"},
+			{E: expr.C("big.val"), As: "rv"},
+		}),
+		expr.Eq(expr.C("lk"), expr.C("rk")))
+	runCompiledBench(b, d, plan)
 }
 
 // benchIVMOpts is benchIVM with generation options, for ablations.

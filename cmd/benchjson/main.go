@@ -18,8 +18,9 @@
 // regression gate compares one metric — by default accesses/op, which
 // is a deterministic count in this repository, unlike ns/op — and exits
 // non-zero when the current value exceeds baseline*(1+threshold). Each
-// report line also shows the ns/op delta as a purely informational
-// column; wall-clock never gates. Benchmarks present only on one side
+// report line also shows the ns/op and allocs/op deltas as purely
+// informational columns; wall-clock never gates, and allocs/op gates only
+// when selected with -metric allocs/op. Benchmarks present only on one side
 // are reported but do not fail the gate, so benchmarks can be added
 // before the baseline is regenerated.
 package main
@@ -135,10 +136,35 @@ func nsPerOpColumn(base, cur Benchmark) string {
 	return fmt.Sprintf("  [ns/op %.0f vs %.0f, %+.1f%%]", got, want, 100*(got/want-1))
 }
 
+// allocsPerOpColumn renders the informational allocs/op comparison shown
+// next to the ns/op column. Allocation counts are the headline number the
+// batch kernels move and, unlike wall-clock, are stable per configuration —
+// but they shift with runtime versions, so they report by default and gate
+// only when explicitly selected via -metric allocs/op.
+func allocsPerOpColumn(base, cur Benchmark) string {
+	want, okB := base.Metrics["allocs/op"]
+	got, okC := cur.Metrics["allocs/op"]
+	if !okB || !okC || want == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  [allocs/op %.0f vs %.0f, %+.1f%%]", got, want, 100*(got/want-1))
+}
+
+// infoColumns is the trailing report-only block on each gated line: the
+// ns/op delta plus the allocs/op delta, the latter omitted when allocs/op
+// itself is the gated metric (its values already lead the line).
+func infoColumns(base, cur Benchmark, gated string) string {
+	s := nsPerOpColumn(base, cur)
+	if gated != "allocs/op" {
+		s += allocsPerOpColumn(base, cur)
+	}
+	return s
+}
+
 // compare gates current against baseline on one metric. It returns
 // human-readable report lines and whether any benchmark regressed past the
-// threshold. Each line carries a trailing informational ns/op column that
-// never influences the gate.
+// threshold. Each line carries trailing informational ns/op and allocs/op
+// columns that never influence the gate.
 func compare(baseline, current []Benchmark, metric string, threshold float64) ([]string, bool) {
 	cur := make(map[string]Benchmark, len(current))
 	for _, b := range current {
@@ -161,7 +187,7 @@ func compare(baseline, current []Benchmark, metric string, threshold float64) ([
 			lines = append(lines, fmt.Sprintf("MISSING  %s: current run lacks metric %q", base.Name, metric))
 			continue
 		}
-		ns := nsPerOpColumn(base, c)
+		ns := infoColumns(base, c, metric)
 		switch {
 		case want == 0:
 			if got != 0 {

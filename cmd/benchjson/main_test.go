@@ -166,6 +166,88 @@ func TestCompareNsPerOpColumnNeverGates(t *testing.T) {
 	}
 }
 
+// TestParseAllocsFixture parses a captured tuple-vs-batch run: the
+// B.ReportAllocs columns must parse as plain gateable metrics, and the
+// fixture's headline — identical accesses/op, three-orders-of-magnitude
+// fewer allocs/op in batch mode — must survive the round trip.
+func TestParseAllocsFixture(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "batch_bench.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := parseBench(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(got), got)
+	}
+	tuple, batch := got[0], got[1]
+	if tuple.Name != "BenchmarkBatchFilter/tuple" || batch.Name != "BenchmarkBatchFilter/b1024" {
+		t.Fatalf("unexpected names: %q, %q", tuple.Name, batch.Name)
+	}
+	for _, b := range got {
+		for _, unit := range []string{"allocs/op", "B/op", "accesses/op", "ns/op"} {
+			if _, ok := b.Metrics[unit]; !ok {
+				t.Errorf("%s: %q missing from metrics: %+v", b.Name, unit, b)
+			}
+		}
+		if len(b.Informational) != 0 {
+			t.Errorf("%s: allocation columns must not be informational: %+v", b.Name, b.Informational)
+		}
+	}
+	if tuple.Metrics["accesses/op"] != batch.Metrics["accesses/op"] {
+		t.Errorf("fixture accesses/op differ between modes: %v vs %v",
+			tuple.Metrics["accesses/op"], batch.Metrics["accesses/op"])
+	}
+	if ratio := tuple.Metrics["allocs/op"] / batch.Metrics["allocs/op"]; ratio < 3 {
+		t.Errorf("fixture allocs/op ratio %.1f, want the batch win >= 3x", ratio)
+	}
+}
+
+// The allocs/op column mirrors the ns/op one: report-only next to the
+// default gate, but a first-class gate when selected with -metric.
+func TestCompareAllocsColumn(t *testing.T) {
+	mkAlloc := func(name string, accesses, allocs float64) Benchmark {
+		return Benchmark{Name: name, Iterations: 1, Metrics: map[string]float64{
+			"accesses/op": accesses, "ns/op": 1, "allocs/op": allocs}}
+	}
+	baseline := []Benchmark{mkAlloc("A", 100, 1000)}
+	bloated := []Benchmark{mkAlloc("A", 100, 9000)}
+
+	// Default gate (accesses/op): a 9x allocation swing renders as a column
+	// but must not gate.
+	lines, regressed := compare(baseline, bloated, "accesses/op", 0.20)
+	joined := strings.Join(lines, "\n")
+	if regressed {
+		t.Fatalf("allocs/op 9x must not gate under accesses/op:\n%s", joined)
+	}
+	if !strings.Contains(joined, "[allocs/op 9000 vs 1000, +800.0%]") {
+		t.Errorf("allocs/op column missing or wrong:\n%s", joined)
+	}
+
+	// Opting in gates on it — and the line drops the redundant trailing
+	// allocs column (the gated values already lead the line).
+	lines, regressed = compare(baseline, bloated, "allocs/op", 0.20)
+	joined = strings.Join(lines, "\n")
+	if !regressed {
+		t.Fatalf("-metric allocs/op must gate a 9x swing:\n%s", joined)
+	}
+	if !strings.Contains(joined, "REGRESS  A: allocs/op 9000.0 vs baseline 1000.0") {
+		t.Errorf("bad allocs/op gate line:\n%s", joined)
+	}
+	if strings.Contains(joined, "[allocs/op") {
+		t.Errorf("gated metric must not repeat as a trailing column:\n%s", joined)
+	}
+
+	// One-sided allocs/op renders no column.
+	lines, _ = compare(baseline, []Benchmark{mk("A", 100)}, "accesses/op", 0.20)
+	if strings.Contains(strings.Join(lines, "\n"), "[allocs/op") {
+		t.Errorf("one-sided allocs/op must render no column:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
 func TestCompareNoRegression(t *testing.T) {
 	baseline := []Benchmark{mk("A", 100)}
 	current := []Benchmark{mk("A", 80)}

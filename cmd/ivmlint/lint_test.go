@@ -25,7 +25,7 @@ var fixtureCases = []struct {
 	{"bindname", "base:"},
 	{"gostmt", "goroutine launched outside"},
 	{"tabletype", "rel.Table"},
-	{"chargepath", "raw storage.Table"},
+	{"chargepath", "cost"},
 	{"countershard", "CostCounter.TupleReads"},
 	{"sharedcapture", "captured variable"},
 	{"floatfold", "map-iteration order"},

@@ -1,6 +1,7 @@
 // Package chargepath is the seeded fixture for the chargepath analyzer:
-// one deliberate violation (a charged-shape call on the raw backend
-// interface) and one blessed suppression (a Backend() escape).
+// deliberate violations (a charged-shape call on the raw backend
+// interface, plus the three uncharged batch-converter escapes) and one
+// blessed suppression (a Backend() escape).
 package chargepath
 
 import (
@@ -14,4 +15,20 @@ func rawScan(t storage.Table) []rel.Tuple {
 
 func escape(h *storage.Handle) storage.Table {
 	return h.Backend() //ivmlint:allow chargepath — fixture bless: registration path
+}
+
+// The batch converters are uncharged by design; outside internal/algebra
+// and internal/rel they move tuples around the charge point.
+
+func smuggleIn(rows []rel.Tuple) *rel.Batch {
+	sch := rel.NewSchema([]string{"a"}, nil)
+	return rel.FromTuples(sch, rows) // violation: uncharged batch conversion outside the kernels
+}
+
+func smuggleRel(r *rel.Relation) *rel.Batch {
+	return rel.FromRelation(r) // violation: uncharged batch conversion outside the kernels
+}
+
+func smuggleOut(b *rel.Batch) *rel.Relation {
+	return b.Materialize(0) // violation: uncharged materialization outside the kernels
 }

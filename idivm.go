@@ -66,6 +66,7 @@ type Option func(*openConfig)
 type openConfig struct {
 	engine    Engine
 	opWorkers int
+	batchSize int
 	serving   *ServingOptions
 }
 
@@ -79,6 +80,15 @@ func WithEngine(e Engine) Option { return func(c *openConfig) { c.engine = e } }
 // split along. 0 or 1 (the default) keeps operators sequential; results
 // and access counts are identical either way.
 func WithOpWorkers(n int) Option { return func(c *openConfig) { c.opWorkers = n } }
+
+// WithBatchSize routes every compiled maintenance step through the
+// columnar batch kernels: operators exchange column vectors with
+// selection-vector narrowing instead of boxed tuples, and results
+// materialize back to tuples in n-row arena chunks only where they hit
+// storage. 0 (the default) keeps tuple-at-a-time execution. Composes
+// with WithOpWorkers; results and access counts are identical either
+// way — only ns/op and allocs/op move.
+func WithBatchSize(n int) Option { return func(c *openConfig) { c.batchSize = n } }
 
 // ServingOptions tunes the concurrent serving layer; see WithServing.
 // Zero MaxBatch and Queue pick the defaults (128 and 1024); MaxDelay has
@@ -111,6 +121,7 @@ func Open(opts ...Option) *DB {
 	d := db.NewWith(cfg.engine)
 	sys := ivm.NewSystem(d)
 	sys.OpWorkers = cfg.opWorkers
+	sys.BatchSize = cfg.batchSize
 	x := &DB{d: d, sys: sys}
 	if cfg.serving != nil {
 		x.srv = serve.New(d, sys, serve.Options{
@@ -335,6 +346,10 @@ func (x *DB) SetWorkers(n int) { x.sys.Workers = n }
 // SetOpWorkers adjusts the intra-operator worker budget after Open; see
 // WithOpWorkers.
 func (x *DB) SetOpWorkers(n int) { x.sys.OpWorkers = n }
+
+// SetBatchSize adjusts the columnar batch size after Open; see
+// WithBatchSize.
+func (x *DB) SetBatchSize(n int) { x.sys.BatchSize = n }
 
 // Maintain incrementally brings every registered view up to date with the
 // base-table modifications since the previous call, and clears the log.

@@ -1,0 +1,212 @@
+package algebra_test
+
+import (
+	"fmt"
+	"testing"
+
+	"idivm/internal/algebra"
+	"idivm/internal/expr"
+	"idivm/internal/rel"
+	"idivm/internal/storage"
+)
+
+// batchEnv grants a base Env op-workers and a batch size, engaging the
+// columnar kernels in compiled plans.
+type batchEnv struct {
+	algebra.Env
+	w  int
+	bs int
+}
+
+func (e *batchEnv) OpWorkers() int { return e.w }
+func (e *batchEnv) BatchSize() int { return e.bs }
+
+// mixedKeys drives hash joins with repeats, misses, a NULL, and a kind
+// mix (Int + Float with equal numeric value) so the batch key columns
+// degrade to VecAny and the Same-based bucket verification is exercised.
+func mixedKeys() *rel.Relation {
+	sch := rel.NewSchema([]string{"jk"}, nil)
+	r := rel.NewRelation(sch)
+	for i := 0; i < 2000; i++ {
+		switch {
+		case i%503 == 0:
+			r.Add(rel.Tuple{rel.Null()})
+		case i%97 == 0:
+			r.Add(rel.Tuple{rel.Float(float64((i * 3) % 3300))}) // Same as the Int key
+		default:
+			r.Add(rel.Tuple{rel.Int(int64((i * 3) % 3300))})
+		}
+	}
+	return r
+}
+
+// batchPlans compiles a plan set covering every batch kernel: typed and
+// degraded filter columns, index-probe vs scan stored selects, aliased
+// and computed projections, probe/hash joins with residuals, semi/anti
+// joins, int-keyed and encoded-key aggregation, and union-all.
+func batchPlans() map[string]algebra.Node {
+	sch := rel.NewSchema([]string{"k", "grp", "val"}, []string{"k"})
+	scan := func() algebra.Node { return algebra.NewScan("big", "", sch) }
+	keySch := rel.NewSchema([]string{"jk"}, nil)
+	keys := func() algebra.Node { return algebra.NewRelRef("keys", keySch) }
+
+	return map[string]algebra.Node{
+		"scan": scan(),
+		"filter-int": algebra.NewSelect(scan(),
+			expr.Lt(expr.C("big.grp"), expr.IntLit(7))),
+		"filter-flip": algebra.NewSelect(scan(), // literal on the left
+			expr.Ge(expr.IntLit(7), expr.C("big.grp"))),
+		"filter-mixed-col": algebra.NewSelect(scan(), // val holds Int/Float/NULL → VecAny
+			expr.Gt(expr.C("big.val"), expr.FloatLit(40))),
+		"filter-conj": algebra.NewSelect(scan(),
+			expr.And(
+				expr.Lt(expr.C("big.grp"), expr.IntLit(11)),
+				expr.Ne(expr.C("big.grp"), expr.IntLit(3)),
+				expr.Gt(expr.C("big.k"), expr.IntLit(100)))),
+		"filter-rest": algebra.NewSelect(scan(), // col-vs-col conjunct lands in rest
+			expr.And(
+				expr.Lt(expr.C("big.grp"), expr.IntLit(9)),
+				expr.Lt(expr.C("big.grp"), expr.C("big.k")))),
+		"probe-select": algebra.NewSelect(scan(), // index probe path
+			expr.Eq(expr.C("big.k"), expr.IntLit(42))),
+		"project": algebra.NewProject(scan(), []algebra.ProjItem{
+			{E: expr.C("big.grp"), As: "g"},
+			{E: expr.AddE(expr.C("big.k"), expr.IntLit(1)), As: "k1"},
+			{E: expr.C("big.val"), As: "v"},
+		}),
+		"join-probe": algebra.NewJoin(keys(), scan(),
+			expr.Eq(expr.C("jk"), expr.C("big.k"))),
+		"join-probe-residual": algebra.NewJoin(keys(), scan(),
+			expr.And(
+				expr.Eq(expr.C("jk"), expr.C("big.k")),
+				expr.Lt(expr.C("big.grp"), expr.IntLit(10)))),
+		"join-hash": algebra.NewJoin(keys(),
+			algebra.NewProject(scan(), []algebra.ProjItem{
+				{E: expr.C("big.k"), As: "hk"},
+				{E: expr.C("big.val"), As: "hv"},
+			}),
+			expr.Eq(expr.C("jk"), expr.C("hk"))),
+		"join-hash-residual": algebra.NewJoin(keys(),
+			algebra.NewProject(scan(), []algebra.ProjItem{
+				{E: expr.C("big.k"), As: "hk"},
+				{E: expr.C("big.grp"), As: "hg"},
+			}),
+			expr.And(
+				expr.Eq(expr.C("jk"), expr.C("hk")),
+				expr.Ne(expr.C("hg"), expr.IntLit(5)))),
+		"semi": algebra.NewSemiJoin(scan(), keys(),
+			expr.Eq(expr.C("big.k"), expr.C("jk"))),
+		"anti": algebra.NewAntiJoin(scan(), keys(),
+			expr.Eq(expr.C("big.k"), expr.C("jk"))),
+		"semi-derived": algebra.NewSemiJoin(
+			algebra.NewProject(scan(), []algebra.ProjItem{
+				{E: expr.C("big.k"), As: "dk"},
+				{E: expr.C("big.val"), As: "dv"},
+			}),
+			keys(),
+			expr.Eq(expr.C("dk"), expr.C("jk"))),
+		"groupby-int": algebra.NewGroupBy(scan(), []string{"big.grp"}, []algebra.Agg{
+			{Fn: algebra.AggSum, Arg: expr.C("big.val"), As: "s"},
+			{Fn: algebra.AggCount, As: "n"},
+			{Fn: algebra.AggAvg, Arg: expr.C("big.val"), As: "a"},
+		}),
+		"groupby-mixed-key": algebra.NewGroupBy(scan(), []string{"big.val"}, []algebra.Agg{
+			{Fn: algebra.AggCount, As: "n"},
+			{Fn: algebra.AggMax, Arg: expr.C("big.k"), As: "m"},
+		}),
+		"groupby-expr-arg": algebra.NewGroupBy(scan(), []string{"big.grp"}, []algebra.Agg{
+			{Fn: algebra.AggSum, Arg: expr.MulE(expr.C("big.k"), expr.IntLit(2)), As: "s2"},
+		}),
+		"union": algebra.NewUnionAll(
+			algebra.NewSelect(scan(), expr.Lt(expr.C("big.grp"), expr.IntLit(4))),
+			algebra.NewSelect(scan(), expr.Ge(expr.C("big.grp"), expr.IntLit(11))),
+			"branch"),
+	}
+}
+
+// TestBatchMatchesTupleMode runs every plan in tuple mode (the oracle)
+// and in batch mode across batch sizes and worker counts, on mem and
+// sharded backends: rows must match in exact order and the access
+// counters must be byte-identical — batching is invisible to the cost
+// model.
+func TestBatchMatchesTupleMode(t *testing.T) {
+	plans := batchPlans()
+	engines := map[string]func() storage.Engine{
+		"mem":      storage.NewMem,
+		"sharded8": func() storage.Engine { return storage.NewSharded(8) },
+	}
+	modes := []struct {
+		name string
+		w    int
+		bs   int
+	}{
+		{"b64", 1, 64},
+		{"b1024", 1, 1024},
+		{"b1024-op4", 4, 1024},
+	}
+	for engName, mk := range engines {
+		t.Run(engName, func(t *testing.T) {
+			d := bigDB(t, mk())
+			base := &bindEnv{Database: d, rels: map[string]*rel.Relation{"keys": mixedKeys()}}
+			for name, plan := range plans {
+				t.Run(name, func(t *testing.T) {
+					compiled, err := algebra.Compile(plan)
+					if err != nil {
+						t.Fatalf("compile: %v", err)
+					}
+					d.Counter().Reset()
+					ref, err := compiled.Run(&batchEnv{Env: base, w: 1, bs: 0})
+					if err != nil {
+						t.Fatalf("tuple run: %v", err)
+					}
+					refCost := *d.Counter()
+					for _, m := range modes {
+						d.Counter().Reset()
+						got, err := compiled.Run(&batchEnv{Env: base, w: m.w, bs: m.bs})
+						if err != nil {
+							t.Fatalf("%s run: %v", m.name, err)
+						}
+						if cost := *d.Counter(); cost != refCost {
+							t.Fatalf("%s: counters differ: tuple %v, batch %v", m.name, refCost, cost)
+						}
+						sameOrderedRelation(t, name+"/"+m.name, ref, got)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestBatchReuseAcrossRuns re-runs one compiled plan with interleaved
+// tuple/batch modes and worker counts: compiled plans are shared state,
+// so scratch leaking between modes or workers shows up as drift (and as
+// a data race under -race).
+func TestBatchReuseAcrossRuns(t *testing.T) {
+	sch := rel.NewSchema([]string{"k", "grp", "val"}, []string{"k"})
+	plan := algebra.NewGroupBy(
+		algebra.NewJoin(algebra.NewRelRef("keys", rel.NewSchema([]string{"jk"}, nil)),
+			algebra.NewScan("big", "", sch),
+			expr.Eq(expr.C("jk"), expr.C("big.k"))),
+		[]string{"big.grp"},
+		[]algebra.Agg{{Fn: algebra.AggSum, Arg: expr.C("big.val"), As: "s"}})
+	compiled, err := algebra.Compile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := bigDB(t, storage.NewSharded(4))
+	base := &bindEnv{Database: d, rels: map[string]*rel.Relation{"keys": mixedKeys()}}
+	ref, err := compiled.Run(&batchEnv{Env: base, w: 1, bs: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := []struct{ w, bs int }{
+		{1, 64}, {4, 1024}, {1, 0}, {8, 64}, {4, 0}, {1, 1024},
+	}
+	for _, r := range runs {
+		got, err := compiled.Run(&batchEnv{Env: base, w: r.w, bs: r.bs})
+		if err != nil {
+			t.Fatalf("w=%d bs=%d: %v", r.w, r.bs, err)
+		}
+		sameOrderedRelation(t, fmt.Sprintf("w=%d bs=%d", r.w, r.bs), ref, got)
+	}
+}

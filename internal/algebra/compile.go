@@ -66,8 +66,18 @@ func (p *ExecPlan) Schema() rel.Schema { return p.sch }
 
 // Run executes the compiled plan against an environment. Stored tables are
 // resolved through env on every run, so WithCounter sharding keeps working:
-// the plan pins strategies, not table handles or counters.
+// the plan pins strategies, not table handles or counters. When the
+// environment requests a positive BatchSize, the plan runs through the
+// columnar kernels (batch.go) and materializes tuples only here, at the
+// root — storage access and charging are identical either way.
 func (p *ExecPlan) Run(env Env) (*rel.Relation, error) {
+	if bs := batchSize(env); bs > 0 {
+		b, err := runNodeBatch(p.root, env, bs)
+		if err != nil {
+			return nil, err
+		}
+		return b.Materialize(bs), nil
+	}
 	return p.root.run(env)
 }
 
@@ -99,7 +109,11 @@ func compileNode(n Node) (cNode, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &cSelect{child: child, pred: pred, sch: x.Child.Schema()}, nil
+		bpred, err := compileBatchPred(x.Pred, x.Child.Schema())
+		if err != nil {
+			return nil, err
+		}
+		return &cSelect{child: child, pred: pred, bpred: bpred, sch: x.Child.Schema()}, nil
 	case *Project:
 		return compileProject(x)
 	case *Join:
@@ -160,6 +174,7 @@ func (c *cEmpty) run(Env) (*rel.Relation, error) { return rel.NewRelation(c.sch)
 type cSelect struct {
 	child cNode
 	pred  *expr.Compiled
+	bpred *bPred // batch-specialized form of pred
 	sch   rel.Schema
 }
 
@@ -192,6 +207,7 @@ type cStoredSelect struct {
 	prep     rel.PrepLookup
 	residual *expr.Compiled // after removing the eq literals; nil when TRUE
 	full     *expr.Compiled // the whole predicate, for the scan path
+	bfull    *bPred         // batch-specialized form of full
 	keyBuf   []byte
 }
 
@@ -202,6 +218,9 @@ func compileStoredSelect(sh *probeShape) (cNode, error) {
 		return nil, err
 	}
 	c := &cStoredSelect{table: sh.table, st: sh.st, sch: sh.schema, eqVals: vals, full: full}
+	if c.bfull, err = compileBatchPred(sh.extra, sh.schema); err != nil {
+		return nil, err
+	}
 	if len(cols) > 0 {
 		c.eqBare = make([]string, len(cols))
 		for i, col := range cols {
@@ -265,9 +284,10 @@ func (c *cStoredSelect) run(env Env) (*rel.Relation, error) {
 // tuples out in one backing array per run instead of one allocation per
 // tuple.
 type cProject struct {
-	items []*expr.Compiled
-	child cNode
-	sch   rel.Schema
+	items  []*expr.Compiled
+	colIdx []int // child column position for plain Col items, -1 otherwise
+	child  cNode
+	sch    rel.Schema
 }
 
 func compileProject(p *Project) (cNode, error) {
@@ -277,14 +297,19 @@ func compileProject(p *Project) (cNode, error) {
 	}
 	cs := p.Child.Schema()
 	items := make([]*expr.Compiled, len(p.Items))
+	colIdx := make([]int, len(p.Items))
 	for i, it := range p.Items {
 		c, err := expr.Compile(it.E, cs)
 		if err != nil {
 			return nil, err
 		}
 		items[i] = c
+		colIdx[i] = -1
+		if col, ok := it.E.(expr.Col); ok {
+			colIdx[i] = cs.Index(col.Name)
+		}
 	}
-	return &cProject{items: items, child: child, sch: p.Schema()}, nil
+	return &cProject{items: items, colIdx: colIdx, child: child, sch: p.Schema()}, nil
 }
 
 func (c *cProject) run(env Env) (*rel.Relation, error) {
@@ -859,6 +884,7 @@ type cGroupBy struct {
 	keyIdx []int
 	fns    []AggFn
 	args   []*expr.Compiled // nil entry means COUNT(*)
+	argIdx []int            // argStar, argComplex, or a plain column position
 	sch    rel.Schema
 	keyBuf []byte
 }
@@ -875,15 +901,24 @@ func compileGroupBy(g *GroupBy) (cNode, error) {
 	}
 	fns := make([]AggFn, len(g.Aggs))
 	args := make([]*expr.Compiled, len(g.Aggs))
+	argIdx := make([]int, len(g.Aggs))
 	for i, a := range g.Aggs {
 		fns[i] = a.Fn
-		if a.Arg != nil {
-			if args[i], err = expr.Compile(a.Arg, cs); err != nil {
-				return nil, err
+		if a.Arg == nil {
+			argIdx[i] = argStar
+			continue
+		}
+		if args[i], err = expr.Compile(a.Arg, cs); err != nil {
+			return nil, err
+		}
+		argIdx[i] = argComplex
+		if col, ok := a.Arg.(expr.Col); ok {
+			if j := cs.Index(col.Name); j >= 0 {
+				argIdx[i] = j
 			}
 		}
 	}
-	return &cGroupBy{child: child, keyIdx: keyIdx, fns: fns, args: args, sch: g.Schema()}, nil
+	return &cGroupBy{child: child, keyIdx: keyIdx, fns: fns, args: args, argIdx: argIdx, sch: g.Schema()}, nil
 }
 
 func (c *cGroupBy) run(env Env) (*rel.Relation, error) {

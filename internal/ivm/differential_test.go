@@ -181,8 +181,9 @@ func TestCompiledParallelCounterParity(t *testing.T) {
 // TestOpWorkersEngineMatrixDifferential is the differential net over the
 // intra-operator kernels: every seeded random plan runs, per storage
 // engine (mem, sharded:1, sharded:8), as a fully sequential reference and
-// as {OpWorkers only, step-DAG + OpWorkers} twins fed identical
-// modification streams. Every parallel cell must reproduce its engine's
+// as {OpWorkers only, step-DAG + OpWorkers, batch64, batch1024 +
+// OpWorkers} twins fed identical modification streams. Every parallel
+// or columnar cell must reproduce its engine's
 // sequential reference byte-for-byte — per-step reports and the database
 // access counters — because the Handle charges partitioned scans exactly
 // as flat scans and every kernel merges in deterministic order. (The
@@ -212,10 +213,13 @@ func TestOpWorkersEngineMatrixDifferential(t *testing.T) {
 		name      string
 		workers   int
 		opWorkers int
+		batch     int
 	}{
-		{"seq", 0, 0}, // per-engine reference; must come first
-		{"op4", 0, 4},
-		{"dag4+op4", 4, 4},
+		{"seq", 0, 0, 0}, // per-engine reference; must come first
+		{"op4", 0, 4, 0},
+		{"dag4+op4", 4, 4, 0},
+		{"b64", 0, 0, 64},
+		{"b1024+op4", 0, 4, 1024},
 	}
 	for trial := 0; trial < trials; trial++ {
 		seed := int64(11000 + trial)

@@ -79,6 +79,12 @@ type ExecOptions struct {
 	// execution. 0 or 1 keeps operators sequential; the interpreted path
 	// ignores it.
 	OpWorkers int
+	// BatchSize > 0 routes compiled compute steps through the columnar
+	// batch kernels with that materialization granularity; 0 keeps the
+	// tuple-at-a-time kernels. Like OpWorkers it changes only ns/op and
+	// allocs/op — results, reports and access counters are identical —
+	// and the interpreted path ignores it.
+	BatchSize int
 }
 
 // scriptExec is the shared state of one script execution: the database,
@@ -90,6 +96,7 @@ type scriptExec struct {
 	s         *Script
 	interpret bool
 	opWorkers int
+	batchSize int
 
 	mu   sync.RWMutex
 	bind map[string]*rel.Relation
@@ -137,7 +144,12 @@ func (e *stepEnv) Rel(name string) (*rel.Relation, error) {
 // budget granted to this step's compiled plan.
 func (e *stepEnv) OpWorkers() int { return e.x.opWorkers }
 
+// BatchSize implements algebra.BatchEnv: a positive size switches this
+// step's compiled plan to columnar batch execution.
+func (e *stepEnv) BatchSize() int { return e.x.batchSize }
+
 var _ algebra.OpParallelEnv = (*stepEnv)(nil)
+var _ algebra.BatchEnv = (*stepEnv)(nil)
 
 // RunScript executes a Δ-script against the database: base diff instances
 // are passed as bindings keyed by BaseBindName; the script's compute steps
@@ -169,7 +181,7 @@ func runScript(d *db.Database, s *Script, bindings map[string]*rel.Relation, ver
 	if root == nil {
 		root = d.Counter()
 	}
-	x := &scriptExec{d: d, s: s, interpret: opts.Interpret, opWorkers: opts.OpWorkers, bind: make(map[string]*rel.Relation, len(bindings)+8)}
+	x := &scriptExec{d: d, s: s, interpret: opts.Interpret, opWorkers: opts.OpWorkers, batchSize: opts.BatchSize, bind: make(map[string]*rel.Relation, len(bindings)+8)}
 	for k, v := range bindings { //ivmlint:allow maprange — map-to-map copy, order-free
 		x.bind[k] = v
 	}

@@ -93,6 +93,9 @@ type System struct {
 	// compute step (partition-parallel scans, join probes/builds, group-by
 	// pre-aggregation). Orthogonal to Workers; see ExecOptions.OpWorkers.
 	OpWorkers int
+	// BatchSize > 0 runs every compiled compute step through the columnar
+	// batch kernels; see ExecOptions.BatchSize.
+	BatchSize int
 	// PinEpochs keeps every view, cache and logged base table in a
 	// permanent maintenance epoch: MaintainAll pins any not yet pinned at
 	// round start and, at round end, atomically advances each snapshot to
@@ -248,7 +251,7 @@ func (s *System) GenerateInstances(v *View) (map[string]*rel.Relation, int, erro
 // MaintainAll) once every view is maintained. With Workers > 1 the view's
 // Δ-script runs on the step-DAG scheduler.
 func (s *System) Maintain(name string) (*Report, error) {
-	return s.maintain(name, ExecOptions{Workers: s.Workers, Interpret: s.Interpret, OpWorkers: s.OpWorkers})
+	return s.maintain(name, ExecOptions{Workers: s.Workers, Interpret: s.Interpret, OpWorkers: s.OpWorkers, BatchSize: s.BatchSize})
 }
 
 func (s *System) maintain(name string, opts ExecOptions) (*Report, error) {
@@ -381,7 +384,7 @@ func (s *System) maintainAllParallel() ([]*Report, error) {
 	errs := make([]error, n)
 	shards := make([]rel.CostCounter, n)
 	parallelFor(s.Workers, n, func(i int) {
-		reports[i], errs[i] = s.maintain(s.order[i], ExecOptions{Workers: s.Workers, Counter: &shards[i], Interpret: s.Interpret, OpWorkers: s.OpWorkers})
+		reports[i], errs[i] = s.maintain(s.order[i], ExecOptions{Workers: s.Workers, Counter: &shards[i], Interpret: s.Interpret, OpWorkers: s.OpWorkers, BatchSize: s.BatchSize})
 	})
 	for i := range shards {
 		s.DB.MergeCounter(shards[i])

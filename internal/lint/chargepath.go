@@ -14,6 +14,15 @@
 // analyzer flags both. Code that legitimately needs a raw table (e.g. a
 // catalog registering one) may hold it — only charged-shape calls and
 // Backend() escapes are violations.
+//
+// The columnar batch layer adds a third escape class: the tuple↔batch
+// converters (rel.FromTuples, rel.FromRelation, Batch.Materialize) are
+// deliberately uncharged — batching must be invisible to the Section-6
+// cost model — which is only sound while every tuple they convert already
+// flowed through a Handle-charged call. The compiled kernels in
+// internal/algebra (and internal/rel itself) are the blessed home of that
+// pattern; a converter call anywhere else is a channel for moving tuples
+// around the charge point and is flagged.
 
 package lint
 
@@ -49,6 +58,20 @@ var AnalyzerChargePath = register(&Analyzer{
 	Run: runChargePath,
 })
 
+// batchConverters are the uncharged tuple↔batch conversion functions of
+// package rel; outside the kernel layer they can smuggle tuples around
+// the charge point.
+var batchConverters = map[string]bool{
+	"FromTuples":   true,
+	"FromRelation": true,
+}
+
+// batchLayer reports whether the package owns the charged-boundary side
+// of the batch converters: the compiled kernels and rel itself.
+func batchLayer(rel string) bool {
+	return pathIn(rel, "internal/algebra", "internal/rel")
+}
+
 func runChargePath(pass *Pass) {
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -58,7 +81,16 @@ func runChargePath(pass *Pass) {
 			}
 			s, ok := pass.Pkg.Info.Selections[sel]
 			if !ok {
-				return true // qualified identifier or untracked selector
+				// Qualified identifier or untracked selector: the batch
+				// converters are package-level rel functions, caught here.
+				if batchConverters[sel.Sel.Name] && !batchLayer(pass.Pkg.Rel) &&
+					isPkgIdent(pass, sel.X, relPkgPath) {
+					pass.Reportf(sel.Pos(), "rel.%s outside the compiled kernel layer: batch conversion "+
+						"is uncharged, so tuples that did not arrive through a storage.Handle call "+
+						"bypass the cost model; keep converters under internal/algebra "+
+						"(or annotate with //ivmlint:allow chargepath)", sel.Sel.Name)
+				}
+				return true
 			}
 			fn, ok := s.Obj().(*types.Func)
 			if !ok {
@@ -78,6 +110,12 @@ func runChargePath(pass *Pass) {
 				pass.Reportf(sel.Pos(), "%s called on a raw storage.Table, bypassing the cost-counting "+
 					"Handle; take a *storage.Handle instead "+
 					"(or annotate with //ivmlint:allow chargepath)", sel.Sel.Name)
+			case sel.Sel.Name == "Materialize" && !batchLayer(pass.Pkg.Rel) &&
+				isNamed(recv, relPkgPath, "Batch"):
+				pass.Reportf(sel.Pos(), "Batch.Materialize outside the compiled kernel layer: batch "+
+					"materialization is invisible to the cost model, which is only sound where "+
+					"inputs are Handle-charged; keep it under internal/algebra "+
+					"(or annotate with //ivmlint:allow chargepath)")
 			}
 			return true
 		})

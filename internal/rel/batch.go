@@ -1,0 +1,485 @@
+// Column-major batches: the vectorized execution layout of the compiled
+// kernels. A Batch holds one column vector per schema attribute; uniform
+// columns store unboxed payloads ([]int64, []float64, []string, []bool)
+// with an optional null bitmap, and mixed-kind columns fall back to boxed
+// []Value storage. Columns may additionally carry a selection/gather
+// indirection (Idx), so filters and joins narrow or reorder a batch
+// without copying any payloads.
+//
+// Batches exist strictly between charged boundaries: rows enter columnar
+// form right after a Handle-charged Scan/Lookup and leave it
+// (Materialize) only where results must become tuples again — when they
+// are bound for storage, the modification log, or a plan's caller. The
+// converters therefore never touch storage themselves and charge nothing;
+// batching is invisible to the Section-6 cost model (DESIGN.md §13), and
+// the ivmlint chargepath analyzer pins the converters to the kernel layer.
+package rel
+
+// VecKind identifies the payload layout of a column vector. The zero
+// value is VecNull — a column of NULLs with no payload — so a zero ColVec
+// is valid for any row count.
+type VecKind uint8
+
+// The column layouts.
+const (
+	VecNull VecKind = iota // every value NULL; no payload
+	VecBool
+	VecInt
+	VecFloat
+	VecStr
+	VecAny // mixed kinds; boxed Vals payload
+)
+
+// ColVec is one column of a Batch. Exactly one payload slice is active,
+// per Kind. Nulls, when non-nil, marks NULL positions of a typed payload
+// (VecAny stores NULLs directly in Vals; VecNull needs no marks). Idx,
+// when non-nil, maps logical row i to physical payload position Idx[i]:
+// a filtered or join-gathered column aliases its source payload and only
+// materializes the indirection vector.
+type ColVec struct {
+	Kind   VecKind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+	Vals   []Value
+	Nulls  []bool
+	Idx    []int32
+}
+
+// Phys maps a logical row to its physical payload position, resolving the
+// Idx indirection. Typed kernel loops use it to read payload slices
+// directly without boxing.
+func (c *ColVec) Phys(i int) int {
+	if c.Idx != nil {
+		return int(c.Idx[i])
+	}
+	return i
+}
+
+// Value boxes the logical row i of the column.
+func (c *ColVec) Value(i int) Value {
+	if c.Kind == VecNull {
+		return Value{}
+	}
+	p := c.Phys(i)
+	if c.Kind == VecAny {
+		return c.Vals[p]
+	}
+	if c.Nulls != nil && c.Nulls[p] {
+		return Value{}
+	}
+	switch c.Kind {
+	case VecInt:
+		return Value{Kind: KindInt, i: c.Ints[p]}
+	case VecFloat:
+		return Value{Kind: KindFloat, f: c.Floats[p]}
+	case VecStr:
+		return Value{Kind: KindString, s: c.Strs[p]}
+	case VecBool:
+		return Value{Kind: KindBool, b: c.Bools[p]}
+	}
+	return Value{}
+}
+
+// IsNull reports whether the logical row i is NULL.
+func (c *ColVec) IsNull(i int) bool {
+	switch c.Kind {
+	case VecNull:
+		return true
+	case VecAny:
+		return c.Vals[c.Phys(i)].IsNull()
+	}
+	return c.Nulls != nil && c.Nulls[c.Phys(i)]
+}
+
+// gatherVec derives the column selecting logical rows sel, composing any
+// existing indirection. memo shares composed vectors between columns that
+// alias one Idx slice (joined sides share a single gather vector).
+func (c ColVec) gatherVec(sel []int32, memo map[*int32][]int32) ColVec {
+	out := c
+	if c.Kind == VecNull {
+		out.Idx = nil
+		return out
+	}
+	if c.Idx == nil || len(c.Idx) == 0 {
+		out.Idx = sel
+		return out
+	}
+	key := &c.Idx[0]
+	if composed, ok := memo[key]; ok {
+		out.Idx = composed
+		return out
+	}
+	composed := make([]int32, len(sel))
+	for k, s := range sel {
+		composed[k] = c.Idx[s]
+	}
+	memo[key] = composed
+	out.Idx = composed
+	return out
+}
+
+// Batch is a column-major relation fragment: N logical rows over one
+// ColVec per schema attribute.
+type Batch struct {
+	Schema Schema
+	Cols   []ColVec
+	N      int
+}
+
+// NewBatch returns an empty (zero-row) batch with one VecNull column per
+// attribute — safe to Gather, Materialize or read at any width.
+func NewBatch(sch Schema) *Batch {
+	return &Batch{Schema: sch, Cols: make([]ColVec, len(sch.Attrs))}
+}
+
+// Len returns the logical row count.
+func (b *Batch) Len() int { return b.N }
+
+// Row boxes logical row i into buf (grown as needed), returning the
+// scratch tuple. The result aliases buf and is only valid until the next
+// call — it exists for residual predicates and generic expressions that
+// need a row view inside a batch kernel.
+func (b *Batch) Row(i int, buf Tuple) Tuple {
+	if cap(buf) < len(b.Cols) {
+		buf = make(Tuple, len(b.Cols))
+	}
+	buf = buf[:len(b.Cols)]
+	for j := range b.Cols {
+		buf[j] = b.Cols[j].Value(i)
+	}
+	return buf
+}
+
+// Gather returns the batch restricted to the logical rows in sel, which
+// must be strictly increasing (a filter selection). Payloads are shared;
+// only indirection vectors are built. A full-length selection is the
+// identity and returns the batch unchanged. For selections with repeats
+// (join gathers) use GatherRows.
+func (b *Batch) Gather(sel []int32) *Batch {
+	if len(sel) == b.N {
+		return b
+	}
+	return b.GatherRows(sel)
+}
+
+// GatherRows is Gather for arbitrary selections: sel may repeat or
+// reorder rows (a join emits one driving row per match), so no identity
+// shortcut applies.
+func (b *Batch) GatherRows(sel []int32) *Batch {
+	nb := &Batch{Schema: b.Schema, Cols: make([]ColVec, len(b.Cols)), N: len(sel)}
+	memo := make(map[*int32][]int32, 2)
+	for i := range b.Cols {
+		nb.Cols[i] = b.Cols[i].gatherVec(sel, memo)
+	}
+	return nb
+}
+
+// vecKindOf maps a value kind to the column layout that stores it.
+func vecKindOf(k Kind) VecKind {
+	switch k {
+	case KindBool:
+		return VecBool
+	case KindInt:
+		return VecInt
+	case KindFloat:
+		return VecFloat
+	case KindString:
+		return VecStr
+	}
+	return VecNull
+}
+
+// ColBuilder accumulates one output column, keeping the payload unboxed
+// while every appended value shares one kind and degrading to boxed
+// storage on the first mismatch. The zero value is ready to use.
+type ColBuilder struct {
+	kind   VecKind // VecNull until the first non-null value fixes it
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	vals   []Value
+	nulls  []bool // lazily allocated on the first NULL of a typed column
+	n      int
+	hint   int // expected total length; sizes the payload allocations
+}
+
+// Len returns the number of values appended so far.
+func (cb *ColBuilder) Len() int { return cb.n }
+
+// Grow hints the expected final length so the payload slices allocate
+// once instead of doubling; appends past the hint stay correct.
+func (cb *ColBuilder) Grow(n int) {
+	if n > cb.hint {
+		cb.hint = n
+	}
+}
+
+// cap returns the capacity to allocate for a payload that must hold at
+// least n values now.
+func (cb *ColBuilder) capFor(n int) int {
+	if cb.hint > n {
+		return cb.hint
+	}
+	return n
+}
+
+// ensureNulls backfills the null bitmap for a typed column that just met
+// its first NULL.
+func (cb *ColBuilder) ensureNulls() {
+	if cb.nulls == nil {
+		cb.nulls = make([]bool, cb.n, cb.capFor(cb.n))
+	}
+}
+
+// setKind turns an all-NULL column into a typed one, backfilling typed
+// zero payloads marked NULL.
+func (cb *ColBuilder) setKind(k VecKind) {
+	cb.kind = k
+	c := cb.capFor(cb.n)
+	if cb.n > 0 {
+		cb.nulls = make([]bool, cb.n, c)
+		for i := range cb.nulls {
+			cb.nulls[i] = true
+		}
+	} else if c == 0 {
+		return // no backfill, no hint: let append allocate
+	}
+	switch k {
+	case VecInt:
+		cb.ints = make([]int64, cb.n, c)
+	case VecFloat:
+		cb.floats = make([]float64, cb.n, c)
+	case VecStr:
+		cb.strs = make([]string, cb.n, c)
+	case VecBool:
+		cb.bools = make([]bool, cb.n, c)
+	}
+}
+
+// degrade reboxes a typed column into VecAny storage (first kind
+// mismatch); appends stay correct, only the layout loses specialization.
+func (cb *ColBuilder) degrade() {
+	vals := make([]Value, cb.n, cb.capFor(cb.n+16))
+	for i := 0; i < cb.n; i++ {
+		if cb.nulls != nil && cb.nulls[i] {
+			continue // zero Value is NULL
+		}
+		switch cb.kind {
+		case VecInt:
+			vals[i] = Value{Kind: KindInt, i: cb.ints[i]}
+		case VecFloat:
+			vals[i] = Value{Kind: KindFloat, f: cb.floats[i]}
+		case VecStr:
+			vals[i] = Value{Kind: KindString, s: cb.strs[i]}
+		case VecBool:
+			vals[i] = Value{Kind: KindBool, b: cb.bools[i]}
+		}
+	}
+	cb.kind = VecAny
+	cb.vals = vals
+	cb.ints, cb.floats, cb.strs, cb.bools, cb.nulls = nil, nil, nil, nil, nil
+}
+
+// Append adds one value to the column.
+func (cb *ColBuilder) Append(v Value) {
+	switch cb.kind {
+	case VecAny:
+		cb.vals = append(cb.vals, v)
+		cb.n++
+		return
+	case VecNull:
+		if v.Kind == KindNull {
+			cb.n++
+			return
+		}
+		cb.setKind(vecKindOf(v.Kind))
+		// fall through to the typed append below via recursion depth 1
+		cb.Append(v)
+		return
+	}
+	if v.Kind == KindNull {
+		cb.ensureNulls()
+		cb.nulls = append(cb.nulls, true)
+		switch cb.kind {
+		case VecInt:
+			cb.ints = append(cb.ints, 0)
+		case VecFloat:
+			cb.floats = append(cb.floats, 0)
+		case VecStr:
+			cb.strs = append(cb.strs, "")
+		case VecBool:
+			cb.bools = append(cb.bools, false)
+		}
+		cb.n++
+		return
+	}
+	if vecKindOf(v.Kind) != cb.kind {
+		cb.degrade()
+		cb.Append(v)
+		return
+	}
+	switch cb.kind {
+	case VecInt:
+		cb.ints = append(cb.ints, v.i)
+	case VecFloat:
+		cb.floats = append(cb.floats, v.f)
+	case VecStr:
+		cb.strs = append(cb.strs, v.s)
+	case VecBool:
+		cb.bools = append(cb.bools, v.b)
+	}
+	if cb.nulls != nil {
+		cb.nulls = append(cb.nulls, false)
+	}
+	cb.n++
+}
+
+// AppendVec bulk-appends the first n logical rows of a column vector.
+// Dense typed sources append by slice copy when the kinds line up; any
+// other shape falls back to per-value Append (which keeps degradation
+// semantics). It is the deterministic merge step of chunked batch
+// kernels: per-chunk builders concatenate in chunk order.
+func (cb *ColBuilder) AppendVec(c *ColVec, n int) {
+	if n == 0 {
+		return
+	}
+	if c.Kind == VecNull {
+		for i := 0; i < n; i++ {
+			cb.Append(Value{})
+		}
+		return
+	}
+	if c.Idx == nil && c.Kind != VecAny && (cb.kind == c.Kind || cb.kind == VecNull) {
+		if cb.kind == VecNull {
+			cb.setKind(c.Kind)
+		}
+		switch c.Kind {
+		case VecInt:
+			cb.ints = append(cb.ints, c.Ints[:n]...)
+		case VecFloat:
+			cb.floats = append(cb.floats, c.Floats[:n]...)
+		case VecStr:
+			cb.strs = append(cb.strs, c.Strs[:n]...)
+		case VecBool:
+			cb.bools = append(cb.bools, c.Bools[:n]...)
+		}
+		if c.Nulls != nil {
+			cb.ensureNulls()
+			cb.nulls = append(cb.nulls, c.Nulls[:n]...)
+		} else if cb.nulls != nil {
+			cb.nulls = append(cb.nulls, make([]bool, n)...)
+		}
+		cb.n += n
+		return
+	}
+	for i := 0; i < n; i++ {
+		cb.Append(c.Value(i))
+	}
+}
+
+// Vec finalizes the column. The builder must not be appended to after.
+func (cb *ColBuilder) Vec() ColVec {
+	return ColVec{
+		Kind:   cb.kind,
+		Ints:   cb.ints,
+		Floats: cb.floats,
+		Strs:   cb.strs,
+		Bools:  cb.bools,
+		Vals:   cb.vals,
+		Nulls:  cb.nulls,
+	}
+}
+
+// FromTuples converts a row-major tuple slice into a batch. It is a
+// charged-boundary converter: callers invoke it exactly once on rows that
+// a *storage.Handle just charged for (or on an already-bound derived
+// relation), never inside an operator loop.
+func FromTuples(sch Schema, rows []Tuple) *Batch {
+	w := len(sch.Attrs)
+	builders := make([]ColBuilder, w)
+	// Column-major fill: one builder at a time keeps its kind switch
+	// predicted and its payload slice hot instead of cycling through all
+	// w builders per row.
+	for j := range builders {
+		builders[j].Grow(len(rows))
+		for _, t := range rows {
+			builders[j].Append(t[j])
+		}
+	}
+	b := &Batch{Schema: sch, Cols: make([]ColVec, w), N: len(rows)}
+	for j := range builders {
+		b.Cols[j] = builders[j].Vec()
+	}
+	return b
+}
+
+// FromRelation converts an in-memory relation into a batch.
+func FromRelation(r *Relation) *Batch {
+	return FromTuples(r.Schema, r.Tuples)
+}
+
+// Materialize converts the batch back into a row-major relation, the
+// inverse charged-boundary converter: it runs only where batch results
+// leave the kernel layer (plan output bound for storage, the modlog or
+// the caller). Tuples are laid out in arena chunks of `chunk` rows
+// (batch-size granularity) instead of one allocation per tuple; values
+// are written by per-column typed loops.
+func (b *Batch) Materialize(chunk int) *Relation {
+	out := NewRelation(b.Schema)
+	n, w := b.N, len(b.Cols)
+	if n == 0 {
+		return out
+	}
+	if chunk <= 0 {
+		chunk = 1024
+	}
+	out.Tuples = make([]Tuple, n)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		buf := make([]Value, (hi-lo)*w)
+		for r := lo; r < hi; r++ {
+			out.Tuples[r] = buf[:w:w]
+			buf = buf[w:]
+		}
+		for j := range b.Cols {
+			fillColumn(&b.Cols[j], out.Tuples[lo:hi], lo, j)
+		}
+	}
+	return out
+}
+
+// fillColumn writes one column's values for logical rows [base,
+// base+len(rows)) into position j of each tuple.
+func fillColumn(c *ColVec, rows []Tuple, base, j int) {
+	switch c.Kind {
+	case VecNull:
+		return // zero Value is NULL
+	case VecAny:
+		for r := range rows {
+			rows[r][j] = c.Vals[c.Phys(base+r)]
+		}
+		return
+	}
+	for r := range rows {
+		p := c.Phys(base + r)
+		if c.Nulls != nil && c.Nulls[p] {
+			continue
+		}
+		switch c.Kind {
+		case VecInt:
+			rows[r][j] = Value{Kind: KindInt, i: c.Ints[p]}
+		case VecFloat:
+			rows[r][j] = Value{Kind: KindFloat, f: c.Floats[p]}
+		case VecStr:
+			rows[r][j] = Value{Kind: KindString, s: c.Strs[p]}
+		case VecBool:
+			rows[r][j] = Value{Kind: KindBool, b: c.Bools[p]}
+		}
+	}
+}

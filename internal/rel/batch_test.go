@@ -1,0 +1,142 @@
+package rel
+
+import (
+	"testing"
+)
+
+func batchSchema(t *testing.T) Schema {
+	t.Helper()
+	return NewSchema([]string{"a", "b", "c"}, []string{"a"})
+}
+
+func sampleRows() []Tuple {
+	return []Tuple{
+		{Int(1), String("x"), Float(1.5)},
+		{Int(2), String("y"), Null()},
+		{Int(3), Null(), Float(-2)},
+		{Int(4), String("z"), Float(0)},
+	}
+}
+
+// Round-trip through FromTuples/Materialize must reproduce every value
+// (Same semantics, including NULLs) in order.
+func TestBatchRoundTrip(t *testing.T) {
+	sch := batchSchema(t)
+	rows := sampleRows()
+	b := FromTuples(sch, rows)
+	if b.Len() != len(rows) {
+		t.Fatalf("len = %d, want %d", b.Len(), len(rows))
+	}
+	if b.Cols[0].Kind != VecInt || b.Cols[1].Kind != VecStr || b.Cols[2].Kind != VecFloat {
+		t.Fatalf("kinds = %v %v %v", b.Cols[0].Kind, b.Cols[1].Kind, b.Cols[2].Kind)
+	}
+	for _, chunk := range []int{0, 1, 3, 1024} {
+		out := b.Materialize(chunk)
+		if len(out.Tuples) != len(rows) {
+			t.Fatalf("chunk %d: %d tuples, want %d", chunk, len(out.Tuples), len(rows))
+		}
+		for i, want := range rows {
+			if !out.Tuples[i].Equal(want) {
+				t.Fatalf("chunk %d row %d = %v, want %v", chunk, i, out.Tuples[i], want)
+			}
+		}
+	}
+}
+
+// Mixed-kind and all-NULL columns must degrade without losing values.
+func TestBatchDegradedColumns(t *testing.T) {
+	sch := batchSchema(t)
+	rows := []Tuple{
+		{Int(1), Null(), Int(7)},
+		{String("mix"), Null(), Int(8)},
+		{Float(2.5), Null(), Bool(true)},
+		{Null(), Null(), Null()},
+	}
+	b := FromTuples(sch, rows)
+	if b.Cols[0].Kind != VecAny {
+		t.Fatalf("col 0 kind = %v, want VecAny", b.Cols[0].Kind)
+	}
+	if b.Cols[1].Kind != VecNull {
+		t.Fatalf("col 1 kind = %v, want VecNull", b.Cols[1].Kind)
+	}
+	if b.Cols[2].Kind != VecAny {
+		t.Fatalf("col 2 kind = %v, want VecAny", b.Cols[2].Kind)
+	}
+	out := b.Materialize(2)
+	for i, want := range rows {
+		if !out.Tuples[i].Equal(want) {
+			t.Fatalf("row %d = %v, want %v", i, out.Tuples[i], want)
+		}
+	}
+	// Null column that later sees a value must backfill typed NULLs.
+	var cb ColBuilder
+	cb.Append(Null())
+	cb.Append(Null())
+	cb.Append(Int(5))
+	v := cb.Vec()
+	if v.Kind != VecInt {
+		t.Fatalf("backfilled kind = %v, want VecInt", v.Kind)
+	}
+	for i, want := range []Value{Null(), Null(), Int(5)} {
+		if !v.Value(i).Same(want) {
+			t.Fatalf("value %d = %v, want %v", i, v.Value(i), want)
+		}
+	}
+}
+
+// Gather must compose chained selections and share payloads.
+func TestBatchGather(t *testing.T) {
+	sch := batchSchema(t)
+	rows := sampleRows()
+	b := FromTuples(sch, rows)
+
+	if g := b.Gather([]int32{0, 1, 2, 3}); g != b {
+		t.Fatalf("identity gather must return the batch unchanged")
+	}
+	g1 := b.Gather([]int32{3, 1, 0})
+	wantRows := []Tuple{rows[3], rows[1], rows[0]}
+	for i, want := range wantRows {
+		got := g1.Row(i, nil)
+		if !got.Equal(want) {
+			t.Fatalf("g1 row %d = %v, want %v", i, got, want)
+		}
+	}
+	// Chained gather composes indirection (logical rows of g1).
+	g2 := g1.Gather([]int32{2, 0})
+	want2 := []Tuple{rows[0], rows[3]}
+	out := g2.Materialize(0)
+	for i, want := range want2 {
+		if !out.Tuples[i].Equal(want) {
+			t.Fatalf("g2 row %d = %v, want %v", i, out.Tuples[i], want)
+		}
+	}
+	// Payloads are shared, not copied.
+	if &g2.Cols[0].Ints[0] != &b.Cols[0].Ints[0] {
+		t.Fatalf("gather copied the int payload")
+	}
+	// Columns sharing one Idx slice compose to one shared vector.
+	if &g2.Cols[0].Idx[0] != &g2.Cols[1].Idx[0] {
+		t.Fatalf("composed Idx not shared between columns")
+	}
+}
+
+// Row returns a scratch view that matches the logical tuples.
+func TestBatchRowScratch(t *testing.T) {
+	sch := batchSchema(t)
+	rows := sampleRows()
+	b := FromTuples(sch, rows)
+	buf := make(Tuple, 0, 3)
+	for i, want := range rows {
+		got := b.Row(i, buf)
+		if !got.Equal(want) {
+			t.Fatalf("row %d = %v, want %v", i, got, want)
+		}
+	}
+	empty := NewBatch(sch)
+	if empty.Len() != 0 || len(empty.Cols) != 3 {
+		t.Fatalf("empty batch: n=%d cols=%d", empty.Len(), len(empty.Cols))
+	}
+	if out := empty.Materialize(0); len(out.Tuples) != 0 {
+		t.Fatalf("empty materialize: %d tuples", len(out.Tuples))
+	}
+}
