@@ -1,0 +1,82 @@
+package idivm_test
+
+import (
+	"testing"
+	"time"
+
+	"idivm"
+)
+
+// TestCascadeFacade exercises the README cascade example end to end on
+// the public surface: a SQL view defined over another SQL view, served
+// writes maintaining both levels in one round, and a Subscribe stream
+// delivering the parent view's applied i-diffs in round order.
+func TestCascadeFacade(t *testing.T) {
+	d := idivm.Open(idivm.WithServing(idivm.ServingOptions{MaxBatch: 64, MaxDelay: time.Millisecond}))
+	defer d.Close()
+
+	d.MustCreateTable("user", idivm.Columns("uid", "city", "tweetsnum"), "uid")
+	for i := 0; i < 40; i++ {
+		d.MustInsert("user", i, i%5, 1+i%3)
+	}
+
+	// Level 0 over the base table; bare AS names so the child can
+	// reference its columns.
+	d.MustCreateView(`CREATE VIEW city_stats AS
+		SELECT city AS city, SUM(tweetsnum) AS tweets
+		FROM user GROUP BY city`)
+	// Level 1 reads city_stats like a base table.
+	d.MustCreateView(`CREATE VIEW tweet_histogram AS
+		SELECT tweets, COUNT(*) AS cities
+		FROM city_stats GROUP BY tweets`)
+	if _, err := d.Maintain(); err != nil {
+		t.Fatalf("Maintain: %v", err)
+	}
+
+	sub, err := d.Subscribe("city_stats")
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	defer sub.Close()
+
+	srv := d.Serving()
+	for round := 1; round <= 3; round++ {
+		if err := srv.Update("user", []any{round}, map[string]any{"tweetsnum": 100 * round}); err != nil {
+			t.Fatalf("round %d Update: %v", round, err)
+		}
+		select {
+		case delta, ok := <-sub.C():
+			if !ok {
+				t.Fatalf("round %d: subscription closed early", round)
+			}
+			if delta.Round != int64(round) || delta.View != "city_stats" {
+				t.Fatalf("round %d: got Delta{Round: %d, View: %q}", round, delta.Round, delta.View)
+			}
+			if len(delta.Diffs) == 0 {
+				t.Fatalf("round %d: delta carried no applied i-diffs", round)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: no delta delivered", round)
+		}
+	}
+
+	// Both levels stayed consistent under cascade maintenance.
+	for _, v := range []string{"city_stats", "tweet_histogram"} {
+		if err := d.CheckConsistent(v); err != nil {
+			t.Fatalf("CheckConsistent(%s): %v", v, err)
+		}
+	}
+	// The top of the cascade reflects the served updates: user 1..3 moved
+	// their cities' totals, so the histogram regrouped.
+	h, err := d.ViewSnapshot("tweet_histogram")
+	if err != nil {
+		t.Fatalf("ViewSnapshot: %v", err)
+	}
+	total := int64(0)
+	for _, row := range h.Data {
+		total += row[1].(int64)
+	}
+	if total != 5 {
+		t.Fatalf("tweet_histogram city count = %d, want 5: %v", total, h.Data)
+	}
+}

@@ -102,6 +102,10 @@ type ServingOptions struct {
 	MaxDelay time.Duration
 	// Queue is the write queue capacity; a full queue blocks enqueuers.
 	Queue int
+	// PlanCache bounds the LRU over parsed QuerySnapshot plans: 0 picks
+	// the default (64), negative disables caching. The ServingStats
+	// hit/miss counters report its effectiveness.
+	PlanCache int
 }
 
 // WithServing opens the database with the concurrent serving layer
@@ -125,9 +129,10 @@ func Open(opts ...Option) *DB {
 	x := &DB{d: d, sys: sys}
 	if cfg.serving != nil {
 		x.srv = serve.New(d, sys, serve.Options{
-			MaxBatch: cfg.serving.MaxBatch,
-			MaxDelay: cfg.serving.MaxDelay,
-			Queue:    cfg.serving.Queue,
+			MaxBatch:  cfg.serving.MaxBatch,
+			MaxDelay:  cfg.serving.MaxDelay,
+			Queue:     cfg.serving.Queue,
+			PlanCache: cfg.serving.PlanCache,
 		})
 	}
 	return x
@@ -594,6 +599,28 @@ func (s *Serving) Flush() error { return s.s.Flush() }
 
 // Stats returns the serving layer's cumulative counters.
 func (s *Serving) Stats() ServingStats { return s.s.Stats() }
+
+// Subscription is a bounded-buffer stream of one view's per-round applied
+// i-diffs; see DB.Subscribe.
+type Subscription = serve.Subscription
+
+// Delta is one committed round's applied i-diffs for one view, as
+// delivered on a Subscription.
+type Delta = serve.Delta
+
+// Subscribe registers a streaming delta subscription on a materialized
+// view: every committed maintenance round delivers one Delta carrying
+// exactly the i-diffs that round applied to the view, in round order.
+// Delivery is bounded-buffer with backpressure — a slow consumer throttles
+// the group-commit dispatcher rather than dropping deltas — so receive
+// promptly or Close. Requires WithServing; views registered as cascade
+// sources and cascade children may both be subscribed.
+func (x *DB) Subscribe(view string) (*Subscription, error) {
+	if x.srv == nil {
+		return nil, fmt.Errorf("idivm: Subscribe requires a database opened WithServing")
+	}
+	return x.srv.Subscribe(view, 0)
+}
 
 // Unwrap exposes the internal database for advanced integrations within
 // this module (the experiment harness and benchmarks).

@@ -73,12 +73,23 @@ type Modification struct {
 // touched by the modification/maintenance path.
 type Database struct {
 	engine  storage.Engine
-	mu      sync.RWMutex // guards tables, order, logging
+	mu      sync.RWMutex // guards tables, order, logging, derivedOn
 	tables  map[string]*storage.Handle
 	order   []string
 	counter rel.CostCounter
 	log     []Modification
 	logging map[string]bool // tables whose changes are logged (base tables of views)
+
+	// derivedOn marks materialized views whose applied i-diffs are recorded
+	// as per-view derived modification logs — the "log" a cascaded
+	// (view-over-view) consumer compacts exactly like a trigger log on a
+	// base table. The IVM system enables it for every view some other view
+	// reads as a source. The log slices themselves live in derived, guarded
+	// separately: parallel Δ-script executors append from pool goroutines
+	// while the catalog maps stay read-only.
+	derivedOn map[string]bool
+	derivedMu sync.Mutex
+	derived   map[string][]Modification
 }
 
 // New creates an empty database on the default in-memory engine.
@@ -88,7 +99,8 @@ func New() *Database {
 
 // NewWith creates an empty database on the given storage engine.
 func NewWith(e storage.Engine) *Database {
-	return &Database{engine: e, tables: make(map[string]*storage.Handle), logging: make(map[string]bool)}
+	return &Database{engine: e, tables: make(map[string]*storage.Handle), logging: make(map[string]bool),
+		derivedOn: make(map[string]bool), derived: make(map[string][]Modification)}
 }
 
 // Engine returns the storage engine the catalog allocates tables from.
@@ -203,6 +215,55 @@ func (d *Database) LoggingEnabled(table string) bool {
 	return d.logging[table]
 }
 
+// EnableDerivedLogging marks a materialized view as a cascade source: the
+// Δ-script executor records every APPLY against it as full-image
+// Modifications (via LogDerived), which downstream views consume as their
+// modification-log input for the same round. The IVM system enables it
+// when a view registers another view as a source.
+func (d *Database) EnableDerivedLogging(view string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.derivedOn[view] = true
+}
+
+// DerivedLoggingEnabled reports whether a view's applied i-diffs are
+// recorded into a derived modification log.
+func (d *Database) DerivedLoggingEnabled(view string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.derivedOn[view]
+}
+
+// LogDerived appends a batch of modifications to a view's derived log.
+// Batches arrive in apply-step order (applies to one table are chained by
+// the step scheduler), so per-key entry order is deterministic whatever
+// the worker schedule; the mutex only arbitrates appends for *different*
+// views maintained concurrently.
+func (d *Database) LogDerived(view string, mods []Modification) {
+	if len(mods) == 0 {
+		return
+	}
+	d.derivedMu.Lock()
+	d.derived[view] = append(d.derived[view], mods...)
+	d.derivedMu.Unlock()
+}
+
+// DerivedLog returns the modifications recorded against a view since the
+// last ClearLog/ResetLog — the same-round delta feed of a cascade parent.
+func (d *Database) DerivedLog(view string) []Modification {
+	d.derivedMu.Lock()
+	defer d.derivedMu.Unlock()
+	return d.derived[view]
+}
+
+func (d *Database) clearDerived() {
+	d.derivedMu.Lock()
+	for k := range d.derived {
+		delete(d.derived, k)
+	}
+	d.derivedMu.Unlock()
+}
+
 func (d *Database) beginEpochIfLogged(t *storage.Handle) {
 	if d.LoggingEnabled(t.Name()) && !t.InEpoch() {
 		t.BeginEpoch()
@@ -274,19 +335,25 @@ func (d *Database) Update(table string, key []rel.Value, setAttrs []string, setV
 // Log returns the modifications logged since the last ResetLog.
 func (d *Database) Log() []Modification { return d.log }
 
-// ClearLog clears the modification log without touching any epochs — the
-// pinned-epoch maintenance path (ivm.System.PinEpochs) keeps every served
-// table in a permanent epoch and advances the snapshots itself.
-func (d *Database) ClearLog() { d.log = nil }
+// ClearLog clears the modification log (and every derived log) without
+// touching any epochs — the pinned-epoch maintenance path
+// (ivm.System.PinEpochs) keeps every served table in a permanent epoch
+// and advances the snapshots itself.
+func (d *Database) ClearLog() {
+	d.log = nil
+	d.clearDerived()
+}
 
-// ResetLog clears the modification log and closes the epochs of all
-// logged base tables: the views are now consistent with the post-state.
+// ResetLog clears the modification log (and every derived log) and closes
+// the epochs of all logged base tables and derived-logged views: the
+// views are now consistent with the post-state.
 func (d *Database) ResetLog() {
 	d.log = nil
+	d.clearDerived()
 	d.mu.RLock()
 	var logged []*storage.Handle
 	for _, name := range d.order {
-		if d.logging[name] {
+		if d.logging[name] || d.derivedOn[name] {
 			logged = append(logged, d.tables[name])
 		}
 	}

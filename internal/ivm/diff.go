@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 
+	"idivm/internal/db"
 	"idivm/internal/rel"
 	"idivm/internal/storage"
 )
@@ -140,18 +141,31 @@ func (i *Instance) Len() int { return i.Rows.Len() }
 // every APPLY write is a charged access of the paper's cost model, and the
 // Handle is the sole charge point (the chargepath analyzer pins this).
 func (i *Instance) Apply(t *storage.Handle) (int, error) {
+	return i.ApplyLogged(t, nil)
+}
+
+// ApplyLogged is Apply that additionally records every row the APPLY
+// touches as a full-image db.Modification through rec (when non-nil) — a
+// derived modification log that a cascaded (view-over-view) consumer
+// compacts exactly like a trigger log on a base table. Charges are
+// identical to Apply's: the images are captured inside the storage
+// critical sections where they are already in hand (DeleteWhereFunc /
+// UpdateWhereFunc), never through extra probes, so the paper's Section 6
+// access counts cannot tell the two entry points apart. The recorded
+// tuples alias stored rows, which are immutable once stored.
+func (i *Instance) ApplyLogged(t *storage.Handle, rec func(db.Modification)) (int, error) {
 	switch i.Schema.Type {
 	case DiffUpdate:
-		return i.applyUpdate(t)
+		return i.applyUpdate(t, rec)
 	case DiffInsert:
-		return i.applyInsert(t)
+		return i.applyInsert(t, rec)
 	case DiffDelete:
-		return i.applyDelete(t)
+		return i.applyDelete(t, rec)
 	}
 	return 0, fmt.Errorf("ivm: unknown diff type %d", i.Schema.Type)
 }
 
-func (i *Instance) applyUpdate(t *storage.Handle) (int, error) {
+func (i *Instance) applyUpdate(t *storage.Handle, rec func(db.Modification)) (int, error) {
 	sch := i.Rows.Schema
 	idIdx, err := sch.Indices(i.Schema.IDs)
 	if err != nil {
@@ -175,7 +189,14 @@ func (i *Instance) applyUpdate(t *storage.Handle) (int, error) {
 		for k, j := range postIdx {
 			postVals[k] = row[j]
 		}
-		n, err := t.UpdateWhere(i.Schema.IDs, idVals, i.Schema.Post, postVals)
+		var n int
+		if rec == nil {
+			n, err = t.UpdateWhere(i.Schema.IDs, idVals, i.Schema.Post, postVals)
+		} else {
+			n, err = t.UpdateWhereFunc(i.Schema.IDs, idVals, i.Schema.Post, postVals, func(pre, post rel.Tuple) {
+				rec(db.Modification{Kind: db.ModUpdate, Table: t.Name(), Pre: pre, Post: post})
+			})
+		}
 		if err != nil {
 			return touched, err
 		}
@@ -184,7 +205,7 @@ func (i *Instance) applyUpdate(t *storage.Handle) (int, error) {
 	return touched, nil
 }
 
-func (i *Instance) applyInsert(t *storage.Handle) (int, error) {
+func (i *Instance) applyInsert(t *storage.Handle, rec func(db.Modification)) (int, error) {
 	tSchema := t.Schema()
 	if !eqStrs(i.Schema.IDs, tSchema.Key) {
 		return 0, fmt.Errorf("ivm: insert diff IDs %v must equal the full key %v of %s",
@@ -215,12 +236,17 @@ func (i *Instance) applyInsert(t *storage.Handle) (int, error) {
 		}
 		if ok {
 			inserted++
+			if rec != nil {
+				// nt's ownership just transferred to storage, where tuples
+				// are immutable; it is the full post-image.
+				rec(db.Modification{Kind: db.ModInsert, Table: t.Name(), Post: nt})
+			}
 		}
 	}
 	return inserted, nil
 }
 
-func (i *Instance) applyDelete(t *storage.Handle) (int, error) {
+func (i *Instance) applyDelete(t *storage.Handle, rec func(db.Modification)) (int, error) {
 	idIdx, err := i.Rows.Schema.Indices(i.Schema.IDs)
 	if err != nil {
 		return 0, err
@@ -231,7 +257,14 @@ func (i *Instance) applyDelete(t *storage.Handle) (int, error) {
 		for k, j := range idIdx {
 			idVals[k] = row[j]
 		}
-		n, err := t.DeleteWhere(i.Schema.IDs, idVals)
+		var n int
+		if rec == nil {
+			n, err = t.DeleteWhere(i.Schema.IDs, idVals)
+		} else {
+			n, err = t.DeleteWhereFunc(i.Schema.IDs, idVals, func(pre rel.Tuple) {
+				rec(db.Modification{Kind: db.ModDelete, Table: t.Name(), Pre: pre})
+			})
+		}
 		if err != nil {
 			return deleted, err
 		}

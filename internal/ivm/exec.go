@@ -28,6 +28,12 @@ type PhaseCosts struct {
 	// (each step charges a private counter shard), so this breakdown is
 	// identical whatever the schedule.
 	Steps []StepCost
+	// Applied lists the non-empty i-diff instances applied to the view
+	// itself, in script order — the per-round delta feed that derived
+	// (cascaded) views consume and Subscribe streams to consumers. An
+	// instance that matched no rows applies nothing and is omitted. The
+	// instances' rows are shared, not copied; treat them as read-only.
+	Applied []*Instance
 }
 
 // StepCost is one script step's access count.
@@ -97,6 +103,10 @@ type scriptExec struct {
 	interpret bool
 	opWorkers int
 	batchSize int
+	// logDerived records the view's applies into the database's derived
+	// modification log — set when the view is a cascade source (some other
+	// registered view scans it).
+	logDerived bool
 
 	mu   sync.RWMutex
 	bind map[string]*rel.Relation
@@ -181,7 +191,8 @@ func runScript(d *db.Database, s *Script, bindings map[string]*rel.Relation, ver
 	if root == nil {
 		root = d.Counter()
 	}
-	x := &scriptExec{d: d, s: s, interpret: opts.Interpret, opWorkers: opts.OpWorkers, batchSize: opts.BatchSize, bind: make(map[string]*rel.Relation, len(bindings)+8)}
+	x := &scriptExec{d: d, s: s, interpret: opts.Interpret, opWorkers: opts.OpWorkers, batchSize: opts.BatchSize,
+		logDerived: d.DerivedLoggingEnabled(s.View), bind: make(map[string]*rel.Relation, len(bindings)+8)}
 	for k, v := range bindings { //ivmlint:allow maprange — map-to-map copy, order-free
 		x.bind[k] = v
 	}
@@ -228,7 +239,6 @@ func runScript(d *db.Database, s *Script, bindings map[string]*rel.Relation, ver
 	}
 
 	pc := &PhaseCosts{}
-	var applied []*Instance // view-level instances, retained when verifying
 	for i := range results {
 		r := &results[i]
 		st := s.Steps[r.idx]
@@ -246,8 +256,8 @@ func runScript(d *db.Database, s *Script, bindings map[string]*rel.Relation, ver
 			name = "APPLY " + x.DiffName
 		}
 		pc.Steps = append(pc.Steps, StepCost{Step: name, Cost: r.cost})
-		if verify && r.applied != nil {
-			applied = append(applied, r.applied)
+		if r.applied != nil && r.applied.Len() > 0 {
+			pc.Applied = append(pc.Applied, r.applied)
 		}
 	}
 	if verify {
@@ -256,7 +266,7 @@ func runScript(d *db.Database, s *Script, bindings map[string]*rel.Relation, ver
 			return nil, err
 		}
 		vt = vt.WithCounter(root)
-		for _, inst := range applied {
+		for _, inst := range pc.Applied {
 			ok, err := inst.IsEffective(vt)
 			if err != nil {
 				return nil, err
@@ -321,7 +331,17 @@ func (x *scriptExec) runStep(i int, counter *rel.CostCounter) stepResult {
 			return res
 		}
 		inst := &Instance{Schema: st.Diff, Rows: r}
-		n, err := inst.Apply(t)
+		var n int
+		if st.Table == x.s.View && x.logDerived {
+			// The view is a cascade source: record the full images of every
+			// row this APPLY touches, batched per step so the derived log's
+			// order is the apply-step chain order whatever the schedule.
+			var mods []db.Modification
+			n, err = inst.ApplyLogged(t, func(m db.Modification) { mods = append(mods, m) })
+			x.d.LogDerived(st.Table, mods)
+		} else {
+			n, err = inst.Apply(t)
+		}
 		if err != nil {
 			res.err = fmt.Errorf("ivm: applying %s to %s: %w", st.DiffName, st.Table, err)
 			return res

@@ -35,6 +35,17 @@ type View struct {
 	Plan   algebra.Node
 	Script *Script
 	Mode   Mode
+	// Sources lists the registered views this view's plan scans — its
+	// cascade parents, whose applied i-diffs (the derived modification
+	// log) are this view's modification-log input. Empty for a view over
+	// base tables only.
+	Sources []string
+	// Level is the view's height in the cascade DAG: 0 over base tables
+	// only, 1 + max(parent levels) otherwise. MaintainAll's scheduler uses
+	// levels as barriers — a level-L view starts only after every view of
+	// a lower level completed — while views inside one level still fan out
+	// over the worker pool.
+	Level int
 }
 
 // Report summarizes one maintenance run of one view.
@@ -120,9 +131,36 @@ func NewSystem(d *db.Database) *System {
 // generation, base diff schema generation, initial materialization of the
 // view and its caches, and enabling modification logging on the base
 // tables. The plan's attribute names become the view table's columns.
+//
+// A scanned name that resolves to a registered view makes that view a
+// cascade source: the new view treats it exactly like a base table (the
+// catalog resolves either), except that its per-round "modification log"
+// is the parent's applied i-diffs (the derived log) rather than a trigger
+// log — the paper's diff machinery composed over itself. Cycles are
+// rejected with VerifyCyclicView before any state is created.
 func (s *System) RegisterView(name string, plan algebra.Node, mode Mode, opts ...GenOptions) (*View, error) {
 	if _, dup := s.views[name]; dup {
 		return nil, fmt.Errorf("ivm: view %q already registered", name)
+	}
+	// Classify the plan's stored inputs: registered views become cascade
+	// sources; everything else must be a base table. The public API makes
+	// true cycles unbuildable (a source must already be registered, so the
+	// source relation is a DAG by construction); the check still guards the
+	// one reachable shape — a plan scanning the name being registered — and
+	// the transitive closure, defensively.
+	var sources []string
+	level := 0
+	for _, t := range algebra.BaseTables(plan) {
+		if t == name || s.reachesView(t, name) {
+			return nil, &VerifyError{Code: VerifyCyclicView, View: name, Step: -1, Name: t,
+				Detail: "view plan reads the view being registered; cascades must form a DAG"}
+		}
+		if src, ok := s.views[t]; ok {
+			sources = append(sources, t)
+			if src.Level+1 > level {
+				level = src.Level + 1
+			}
+		}
 	}
 	tableSchema := func(t string) (rel.Schema, error) {
 		tab, err := s.DB.Table(t)
@@ -163,13 +201,32 @@ func (s *System) RegisterView(name string, plan algebra.Node, mode Mode, opts ..
 	}
 
 	for _, t := range algebra.BaseTables(plan) {
-		s.DB.EnableLogging(t)
+		if _, isView := s.views[t]; isView {
+			s.DB.EnableDerivedLogging(t)
+		} else {
+			s.DB.EnableLogging(t)
+		}
 	}
 
-	v := &View{Name: name, Plan: script.ViewPlan, Script: script, Mode: mode}
+	v := &View{Name: name, Plan: script.ViewPlan, Script: script, Mode: mode, Sources: sources, Level: level}
 	s.views[name] = v
 	s.order = append(s.order, name)
 	return v, nil
+}
+
+// reachesView reports whether the registered view `from` reads `target`
+// (directly or through its sources). A non-view `from` reaches nothing.
+func (s *System) reachesView(from, target string) bool {
+	v, ok := s.views[from]
+	if !ok {
+		return false
+	}
+	for _, src := range v.Sources {
+		if src == target || s.reachesView(src, target) {
+			return true
+		}
+	}
+	return false
 }
 
 // materialize evaluates a plan and stores the result as a keyed table.
@@ -207,6 +264,14 @@ func (s *System) ViewNames() []string { return append([]string(nil), s.order...)
 // per-table net changes and populates the base diff instances a view's
 // script consumes, keyed by BaseBindName. All registered schemas get a
 // binding (possibly empty) so scripts can always resolve them.
+//
+// For a cascaded view the "log" additionally contains the derived logs of
+// its view sources — the i-diffs the same round already applied to the
+// parents — so a parent's output feeds its children with no recompute:
+// the cascade input is read at i-diff granularity, charged per the
+// Section 6 rules like any other diff feed. Compaction groups per table,
+// so concatenation order across sources is immaterial; per-key order
+// within one source follows its apply-step chain.
 func (s *System) GenerateInstances(v *View) (map[string]*rel.Relation, int, error) {
 	tableSchema := func(t string) (rel.Schema, error) {
 		tab, err := s.DB.Table(t)
@@ -215,7 +280,15 @@ func (s *System) GenerateInstances(v *View) (map[string]*rel.Relation, int, erro
 		}
 		return tab.Schema(), nil
 	}
-	changes, err := CompactLog(s.DB.Log(), tableSchema)
+	log := s.DB.Log()
+	if len(v.Sources) > 0 {
+		merged := append([]db.Modification(nil), log...)
+		for _, src := range v.Sources {
+			merged = append(merged, s.DB.DerivedLog(src)...)
+		}
+		log = merged
+	}
+	changes, err := CompactLog(log, tableSchema)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -250,8 +323,33 @@ func (s *System) GenerateInstances(v *View) (map[string]*rel.Relation, int, erro
 // consuming the log (other views may still need it); call ResetLog (or use
 // MaintainAll) once every view is maintained. With Workers > 1 the view's
 // Δ-script runs on the step-DAG scheduler.
+//
+// In a cascade, maintain parents before children within the same round
+// (registration order always satisfies this; MaintainAll does it for
+// you): a child's diff feed is whatever its sources' derived logs hold.
 func (s *System) Maintain(name string) (*Report, error) {
+	s.beginCascadeEpochs()
 	return s.maintain(name, ExecOptions{Workers: s.Workers, Interpret: s.Interpret, OpWorkers: s.OpWorkers, BatchSize: s.BatchSize})
+}
+
+// beginCascadeEpochs opens a maintenance epoch on every derived-logged
+// source view not already in one. A cascade parent's epoch must open
+// before the parent's own apply steps run, so that a child's pre-state
+// reads of the parent observe the round-start state — the same "first
+// logged modification freezes the pre-state" rule db applies to base
+// tables, with the parent's applies playing the modification role.
+// ResetLog closes these epochs with the base tables'; under PinEpochs
+// every view is permanently pinned and this is a no-op. Epoch operations
+// are uncharged.
+func (s *System) beginCascadeEpochs() {
+	for _, name := range s.order {
+		if !s.DB.DerivedLoggingEnabled(name) {
+			continue
+		}
+		if t, err := s.DB.Table(name); err == nil && !t.InEpoch() {
+			t.BeginEpoch()
+		}
+	}
 }
 
 func (s *System) maintain(name string, opts ExecOptions) (*Report, error) {
@@ -272,8 +370,12 @@ func (s *System) maintain(name string, opts ExecOptions) (*Report, error) {
 }
 
 // MaintainAll maintains every registered view against the current log,
-// then clears the log and closes the base-table epochs. With Workers > 1,
-// independent views are maintained concurrently on the worker pool: each
+// then clears the log (and every derived log) and closes the epochs. The
+// schedule is topological over the cascade DAG: registration order is
+// already sources-first, and with Workers > 1 the views fan out level by
+// level — levels are barriers, since a cascaded view's diff feed is the
+// i-diffs the same round applied to its parents, while independent views
+// inside a level are maintained concurrently on the worker pool. Each
 // view runs in its own epoch (views and their caches are disjoint tables)
 // and charges a private counter shard, merged into the database counter in
 // registration order once all views complete — so reports and totals are
@@ -290,6 +392,7 @@ func (s *System) MaintainAll() ([]*Report, error) {
 	if s.PinEpochs {
 		s.PinAllEpochs()
 	}
+	s.beginCascadeEpochs()
 	if s.Hooks.RoundBegin != nil {
 		s.Hooks.RoundBegin()
 	}
@@ -372,10 +475,15 @@ func (s *System) PinAllEpochs() {
 	}
 }
 
-// maintainAllParallel fans the registered views out over the worker pool.
-// On failure it reports the erroring view earliest in registration order,
-// with the reports of the views registered before it; views after it may
-// or may not have been maintained, exactly as consistent as the sequential
+// maintainAllParallel fans the registered views out over the worker pool,
+// level by level: cascade levels are barriers (a child's diff feed is its
+// parents' applied i-diffs, so level L starts only after every view of a
+// lower level completed), while the views inside one level — independent
+// subtrees by construction — still run concurrently. On failure it
+// reports the erroring view earliest in registration order, with the
+// reports of the views registered before it; same-level views after it
+// may or may not have been maintained, and later levels are skipped (they
+// would consume a broken feed), exactly as consistent as the sequential
 // path's early return leaves them. Log reset and epoch release belong to
 // MaintainAll.
 func (s *System) maintainAllParallel() ([]*Report, error) {
@@ -383,9 +491,34 @@ func (s *System) maintainAllParallel() ([]*Report, error) {
 	reports := make([]*Report, n)
 	errs := make([]error, n)
 	shards := make([]rel.CostCounter, n)
-	parallelFor(s.Workers, n, func(i int) {
-		reports[i], errs[i] = s.maintain(s.order[i], ExecOptions{Workers: s.Workers, Counter: &shards[i], Interpret: s.Interpret, OpWorkers: s.OpWorkers, BatchSize: s.BatchSize})
-	})
+	levels := make(map[int][]int)
+	maxLevel := 0
+	for i, name := range s.order {
+		l := s.views[name].Level
+		levels[l] = append(levels[l], i)
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	for l := 0; l <= maxLevel; l++ {
+		idxs := levels[l]
+		if len(idxs) == 0 {
+			continue
+		}
+		parallelFor(s.Workers, len(idxs), func(k int) {
+			i := idxs[k]
+			reports[i], errs[i] = s.maintain(s.order[i], ExecOptions{Workers: s.Workers, Counter: &shards[i], Interpret: s.Interpret, OpWorkers: s.OpWorkers, BatchSize: s.BatchSize})
+		})
+		failed := false
+		for _, i := range idxs {
+			if errs[i] != nil {
+				failed = true
+			}
+		}
+		if failed {
+			break
+		}
+	}
 	for i := range shards {
 		s.DB.MergeCounter(shards[i])
 	}
@@ -393,6 +526,9 @@ func (s *System) maintainAllParallel() ([]*Report, error) {
 	for i := range reports {
 		if errs[i] != nil {
 			return out, errs[i]
+		}
+		if reports[i] == nil {
+			break // a level skipped after a failure; the error precedes it
 		}
 		out = append(out, reports[i])
 	}

@@ -56,6 +56,11 @@ const (
 	// a shape constraints C1–C3 (Figure 8) prove vacuous, so its survival
 	// means minimization was unsound or skipped.
 	VerifyUnsafeShape VerifyCode = "unsafe-shape"
+	// VerifyCyclicView: the plan being registered reads the view under
+	// registration, directly (a scan of its own name) or through the
+	// sources of an already-registered view — cascades must form a DAG so
+	// topological (level-ordered) maintenance terminates.
+	VerifyCyclicView VerifyCode = "cyclic-view"
 )
 
 // VerifyError is a structured verification failure naming the offending

@@ -343,6 +343,17 @@ func (t *Table) DeleteKey(key []Value) bool {
 // delete, the APPLY semantics of delete i-diffs), returning the removal
 // count.
 func (t *Table) DeleteWhere(attrs []string, vals []Value) (int, error) {
+	return t.DeleteWhereFunc(attrs, vals, nil)
+}
+
+// DeleteWhereFunc is DeleteWhere that additionally invokes fn (when
+// non-nil) with the full pre-image of every removed row, in removal
+// order. The images are captured inside the critical section where they
+// are already in hand — no extra probes — and alias stored tuples, which
+// are immutable once stored (updates clone). fn must not call back into
+// the table. It is how the Δ-script executor records a view's applied
+// deletes into the derived modification log that cascaded views consume.
+func (t *Table) DeleteWhereFunc(attrs []string, vals []Value, fn func(pre Tuple)) (int, error) {
 	c := t.core
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -354,15 +365,25 @@ func (t *Table) DeleteWhere(attrs []string, vals []Value) (int, error) {
 	if len(positions) == 0 {
 		return 0, nil
 	}
-	// Collect keys first: removeAt perturbs positions.
+	// Collect keys (and pre-images) first: removeAt perturbs positions.
 	keys := make([]string, 0, len(positions))
+	var pres []Tuple
+	if fn != nil {
+		pres = make([]Tuple, 0, len(positions))
+	}
 	for _, p := range positions {
 		keys = append(keys, c.keyOf(c.rows[p]))
+		if fn != nil {
+			pres = append(pres, c.rows[p])
+		}
 	}
 	for _, k := range keys {
 		if i, ok := c.byKey[k]; ok {
 			c.removeAt(i)
 		}
+	}
+	for _, r := range pres {
+		fn(r)
 	}
 	return len(keys), nil
 }
@@ -371,6 +392,16 @@ func (t *Table) DeleteWhere(attrs []string, vals []Value) (int, error) {
 // setAttrs columns with setVals, and returns the update count. Key
 // attributes cannot be updated (they are immutable in the paper's model).
 func (t *Table) UpdateWhere(attrs []string, vals []Value, setAttrs []string, setVals []Value) (int, error) {
+	return t.UpdateWhereFunc(attrs, vals, setAttrs, setVals, nil)
+}
+
+// UpdateWhereFunc is UpdateWhere that additionally invokes fn (when
+// non-nil) with the full pre- and post-image of every updated row, in
+// update order. Like DeleteWhereFunc, the images come from the critical
+// section where the update already holds both tuples (the clone preserving
+// the pre-state snapshot is the pre-image); fn must not call back into
+// the table.
+func (t *Table) UpdateWhereFunc(attrs []string, vals []Value, setAttrs []string, setVals []Value, fn func(pre, post Tuple)) (int, error) {
 	c := t.core
 	for _, a := range setAttrs {
 		if Contains(c.schema.Key, a) {
@@ -397,6 +428,9 @@ func (t *Table) UpdateWhere(attrs []string, vals []Value, setAttrs []string, set
 		c.rows[p] = nr
 		c.indexesUpdate(old, nr, p)
 		c.epochMutated = true
+		if fn != nil {
+			fn(old, nr)
+		}
 	}
 	return len(positions), nil
 }

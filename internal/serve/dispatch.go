@@ -202,9 +202,11 @@ func (s *Server) dispatch() {
 			// Drain ops admitted before Close flipped the flag, then
 			// commit the final batch. No enqueue can race past this:
 			// admission holds closeMu.RLock, and quit closes only after
-			// Close held the write lock.
+			// Close held the write lock. Subscription channels close last,
+			// after the final round's deltas were delivered.
 			batch = drain(s.opCh, batch)
 			commit()
+			s.closeSubs()
 			return
 		}
 	}
@@ -224,8 +226,9 @@ func drain(ch chan *pendingOp, batch []*pendingOp) []*pendingOp {
 }
 
 // commit applies the batch to the catalog and runs one maintenance round,
-// then resolves every op. A no-op batch over an empty log skips the round
-// entirely (a Flush on an idle server costs nothing).
+// publishes the round's applied i-diffs to subscribers, then resolves
+// every op. A no-op batch over an empty log skips the round entirely (a
+// Flush on an idle server costs nothing, and subscribers see no delta).
 func (s *Server) commit(batch []*pendingOp) error {
 	if len(batch) == 0 && len(s.d.Log()) == 0 {
 		return nil
@@ -233,9 +236,15 @@ func (s *Server) commit(batch []*pendingOp) error {
 	for _, op := range batch {
 		op.err = s.apply(op)
 	}
-	_, roundErr := s.sys.MaintainAll()
+	reports, roundErr := s.sys.MaintainAll()
 	s.batches.Add(1)
 	s.ops.Add(int64(len(batch)))
+	if roundErr == nil {
+		// Deliver before resolving the Pendings: a writer that observes
+		// its Wait return knows every subscriber was offered the round
+		// (bounded-buffer backpressure — a full subscriber blocks here).
+		s.publish(reports)
+	}
 	for _, op := range batch {
 		if op.err == nil {
 			op.err = roundErr

@@ -1,0 +1,116 @@
+package serve_test
+
+import (
+	"sync"
+	"testing"
+
+	"idivm/internal/serve"
+)
+
+// TestQuerySnapshotPlanCache pins the hit/miss accounting and that cached
+// plans return the same results as fresh parses.
+func TestQuerySnapshotPlanCache(t *testing.T) {
+	s := newServed(t, engines[0].mk, flushOpts)
+	const sql = `SELECT pid, price FROM parts WHERE price < 50`
+
+	first, err := s.srv.QuerySnapshot(sql)
+	if err != nil {
+		t.Fatalf("QuerySnapshot: %v", err)
+	}
+	st := s.srv.Stats()
+	if st.PlanCacheMisses != 1 || st.PlanCacheHits != 0 {
+		t.Fatalf("after first query: hits=%d misses=%d", st.PlanCacheHits, st.PlanCacheMisses)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := s.srv.QuerySnapshot(sql)
+		if err != nil {
+			t.Fatalf("QuerySnapshot (cached): %v", err)
+		}
+		if !again.EqualSet(first) {
+			t.Fatalf("cached plan returned different rows")
+		}
+	}
+	st = s.srv.Stats()
+	if st.PlanCacheMisses != 1 || st.PlanCacheHits != 3 {
+		t.Fatalf("after repeats: hits=%d misses=%d, want 3/1", st.PlanCacheHits, st.PlanCacheMisses)
+	}
+
+	// A failed parse is never cached: each attempt is a fresh miss-less
+	// error (the counters only move for parseable SQL).
+	if _, err := s.srv.QuerySnapshot("SELECT FROM nothing"); err == nil {
+		t.Fatal("bad SQL parsed")
+	}
+
+	// Distinct SQL is its own entry.
+	if _, err := s.srv.QuerySnapshot(`SELECT pid, price FROM parts WHERE price < 10`); err != nil {
+		t.Fatalf("QuerySnapshot: %v", err)
+	}
+	st = s.srv.Stats()
+	if st.PlanCacheMisses < 2 {
+		t.Fatalf("distinct SQL did not miss: %+v", st)
+	}
+}
+
+// TestQuerySnapshotPlanCacheDisabled: negative capacity turns the cache
+// off and the counters stay zero.
+func TestQuerySnapshotPlanCacheDisabled(t *testing.T) {
+	opts := flushOpts
+	opts.PlanCache = -1
+	s := newServed(t, engines[0].mk, opts)
+	const sql = `SELECT pid FROM parts`
+	for i := 0; i < 3; i++ {
+		if _, err := s.srv.QuerySnapshot(sql); err != nil {
+			t.Fatalf("QuerySnapshot: %v", err)
+		}
+	}
+	st := s.srv.Stats()
+	if st.PlanCacheHits != 0 || st.PlanCacheMisses != 0 {
+		t.Fatalf("disabled cache moved counters: %+v", st)
+	}
+}
+
+// TestQuerySnapshotPlanCacheConcurrent shares one cached plan across
+// concurrent readers while the dispatcher commits rounds — the shared
+// immutable-plan claim, under -race.
+func TestQuerySnapshotPlanCacheConcurrent(t *testing.T) {
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			s := newServed(t, eng.mk, serve.Options{MaxBatch: 8})
+			const sql = `SELECT pid, price FROM parts WHERE price < 100`
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				//ivmlint:allow gostmt — test reader goroutines sharing one cached plan
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if _, err := s.srv.QuerySnapshot(sql); err != nil {
+							t.Errorf("QuerySnapshot: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			for i := 0; i < 50; i++ {
+				if err := s.ds.ApplyPriceUpdates(); err != nil {
+					t.Fatalf("updates: %v", err)
+				}
+				if err := s.srv.Flush(); err != nil {
+					t.Fatalf("Flush: %v", err)
+				}
+			}
+			close(stop)
+			wg.Wait()
+			st := s.srv.Stats()
+			if st.PlanCacheHits == 0 {
+				t.Fatalf("no cache hits under concurrency: %+v", st)
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"idivm/internal/algebra"
+	"idivm/internal/rel"
+)
+
+func cachePlan(name string) algebra.Node {
+	return algebra.NewScan(name, "", rel.NewSchema([]string{"k"}, []string{"k"}))
+}
+
+func TestPlanCacheLRU(t *testing.T) {
+	c := newPlanCache(2)
+	c.put("a", cachePlan("a"))
+	c.put("b", cachePlan("b"))
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("miss on a")
+	}
+	// a is now most recent; inserting c evicts b.
+	c.put("c", cachePlan("c"))
+	if c.len() != 2 {
+		t.Fatalf("len after evict = %d, want 2", c.len())
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction past capacity")
+	}
+	for _, k := range []string{"a", "c"} {
+		if p, ok := c.get(k); !ok || p.(*algebra.Scan).Table != k {
+			t.Fatalf("entry %q lost or wrong: %v %v", k, p, ok)
+		}
+	}
+	// Re-putting an existing key replaces in place, no growth.
+	c.put("a", cachePlan("a"))
+	if c.len() != 2 {
+		t.Fatalf("len after re-put = %d, want 2", c.len())
+	}
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	c := newPlanCache(8)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		//ivmlint:allow gostmt — test goroutines hammering the cache
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("q%d", (g+i)%12)
+				if _, ok := c.get(k); !ok {
+					c.put(k, cachePlan(k))
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if n := c.len(); n > 8 {
+		t.Fatalf("cache overgrew its capacity: %d", n)
+	}
+}

@@ -70,6 +70,11 @@ type Options struct {
 	// Queue is the enqueue buffer capacity (default 1024). A full queue
 	// makes enqueuers block until the dispatcher catches up.
 	Queue int
+	// PlanCache bounds the reader-side LRU over parsed QuerySnapshot
+	// plans, keyed on SQL text: 0 picks the default (64), negative
+	// disables caching. Hits skip the parse and pre-state rewrite; the
+	// Stats hit/miss counters report its effectiveness.
+	PlanCache int
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +83,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Queue <= 0 {
 		o.Queue = 1024
+	}
+	if o.PlanCache == 0 {
+		o.PlanCache = defaultPlanCache
 	}
 	return o
 }
@@ -98,6 +106,11 @@ type Stats struct {
 	// Rounds counts completed MaintainAll rounds observed via the hooks
 	// (including any driven outside the dispatcher).
 	Rounds int64
+	// PlanCacheHits counts QuerySnapshot calls served from the plan cache;
+	// PlanCacheMisses counts the ones that parsed. Both stay zero with the
+	// cache disabled.
+	PlanCacheHits   int64
+	PlanCacheMisses int64
 }
 
 // Server coordinates concurrent snapshot readers and a single
@@ -123,7 +136,19 @@ type Server struct {
 	opCh    chan *pendingOp
 	flushCh chan chan error
 
-	closeMu sync.RWMutex // serializes enqueue/flush against Close
+	// plans is the reader-side LRU over parsed QuerySnapshot plans (nil
+	// when disabled); the counters track its hit rate.
+	plans      *planCache
+	planHits   atomic.Int64
+	planMisses atomic.Int64
+
+	// subs are the live delta subscriptions; roundSeq numbers committed
+	// rounds for Delta.Round and is touched only by the dispatcher.
+	subMu    sync.Mutex
+	subs     []*Subscription
+	roundSeq int64
+
+	closeMu sync.RWMutex // serializes enqueue/flush/subscribe against Close
 	closed  bool
 	quit    chan struct{}
 	done    chan struct{}
@@ -144,6 +169,9 @@ func New(d *db.Database, sys *ivm.System, opts Options) *Server {
 	s.flushCh = make(chan chan error)
 	s.quit = make(chan struct{})
 	s.done = make(chan struct{})
+	if s.opts.PlanCache > 0 {
+		s.plans = newPlanCache(s.opts.PlanCache)
+	}
 
 	sys.PinEpochs = true
 	prev := sys.Hooks
@@ -179,6 +207,8 @@ func (s *Server) Stats() Stats {
 		Ops:             s.ops.Load(),
 		Batches:         s.batches.Load(),
 		Rounds:          s.rounds.Load(),
+		PlanCacheHits:   s.planHits.Load(),
+		PlanCacheMisses: s.planMisses.Load(),
 	}
 }
 
@@ -242,15 +272,37 @@ func (e snapEnv) Rel(name string) (*rel.Relation, error) {
 // every stored table in the plan is read in StatePre, so the result is
 // consistent with the last completed round (for logged base tables and
 // materialized views; an unlogged table has no snapshot machinery and
-// reads live). Uncharged, like ViewSnapshot.
+// reads live). Uncharged, like ViewSnapshot. Repeated SQL text is served
+// from the plan cache (see Options.PlanCache): the parse and pre-state
+// rewrite happen once; only failed parses are never cached.
 func (s *Server) QuerySnapshot(sql string) (*rel.Relation, error) {
-	v, err := sqlview.Parse(sql, s.d)
-	if err != nil {
-		return nil, err
+	plan, cached := s.cachedPlan(sql)
+	if !cached {
+		v, err := sqlview.Parse(sql, s.d)
+		if err != nil {
+			return nil, err
+		}
+		plan = algebra.WithState(v.Plan, rel.StatePre)
+		if s.plans != nil {
+			s.plans.put(sql, plan)
+		}
 	}
-	plan := algebra.WithState(v.Plan, rel.StatePre)
 	env := snapEnv{d: s.d}
 	return s.read(func() (*rel.Relation, error) {
 		return algebra.Eval(plan, env)
 	})
+}
+
+// cachedPlan consults the plan cache, maintaining the hit/miss counters.
+// With the cache disabled it reports a silent miss.
+func (s *Server) cachedPlan(sql string) (algebra.Node, bool) {
+	if s.plans == nil {
+		return nil, false
+	}
+	if p, ok := s.plans.get(sql); ok {
+		s.planHits.Add(1)
+		return p, true
+	}
+	s.planMisses.Add(1)
+	return nil, false
 }

@@ -345,3 +345,71 @@ func TestConformanceRandomizedDifferential(t *testing.T) {
 		t.Fatal("workload charged nothing — counting is broken")
 	}
 }
+
+// TestConformanceCaptureOps pins the capture-callback contract of
+// DeleteWhereFunc/UpdateWhereFunc: full pre/post images delivered from
+// inside the mutation, matched counts, and nil-fn equivalence with the
+// plain variants. The derived modification log (cascades) is built on it.
+func TestConformanceCaptureOps(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, e Engine) {
+		tab := mkParts(t, e)
+
+		// UpdateWhereFunc: both price=20 rows move to 21; the callback sees
+		// the pre image with 20 and the post image with 21, full width.
+		seen := map[string][2]int64{}
+		n, err := tab.UpdateWhereFunc([]string{"price"}, []rel.Value{rel.Int(20)},
+			[]string{"price"}, []rel.Value{rel.Int(21)},
+			func(pre, post rel.Tuple) {
+				if len(pre) != 2 || len(post) != 2 {
+					t.Errorf("truncated images: pre %v post %v", pre, post)
+					return
+				}
+				seen[pre[0].String()] = [2]int64{pre[1].AsInt(), post[1].AsInt()}
+			})
+		if err != nil || n != 2 {
+			t.Fatalf("UpdateWhereFunc: n=%d err=%v", n, err)
+		}
+		if len(seen) != 2 {
+			t.Fatalf("callback fired for %d rows, want 2: %v", len(seen), seen)
+		}
+		for pid, io := range seen {
+			if io[0] != 20 || io[1] != 21 {
+				t.Errorf("row %s images = %v, want [20 21]", pid, io)
+			}
+		}
+		// Post images must be live: the table now holds them.
+		rows, err := tab.Lookup(rel.StatePost, []string{"price"}, []rel.Value{rel.Int(21)})
+		if err != nil || len(rows) != 2 {
+			t.Fatalf("after UpdateWhereFunc: %d rows at 21, err %v", len(rows), err)
+		}
+
+		// nil fn behaves exactly like the plain variant.
+		n, err = tab.UpdateWhereFunc([]string{"price"}, []rel.Value{rel.Int(10)},
+			[]string{"price"}, []rel.Value{rel.Int(11)}, nil)
+		if err != nil || n != 1 {
+			t.Fatalf("nil-fn UpdateWhereFunc: n=%d err=%v", n, err)
+		}
+
+		// DeleteWhereFunc: both 21-rows go; pre images are complete.
+		var deleted []string
+		n, err = tab.DeleteWhereFunc([]string{"price"}, []rel.Value{rel.Int(21)},
+			func(pre rel.Tuple) {
+				if len(pre) != 2 || !pre[1].Equal(rel.Int(21)) {
+					t.Errorf("bad delete pre image %v", pre)
+				}
+				deleted = append(deleted, pre[0].String())
+			})
+		if err != nil || n != 2 || len(deleted) != 2 {
+			t.Fatalf("DeleteWhereFunc: n=%d fired=%d err=%v", n, len(deleted), err)
+		}
+		if tab.Len() != 1 {
+			t.Fatalf("len after capture delete = %d", tab.Len())
+		}
+		// No matches: no calls, no error.
+		n, err = tab.DeleteWhereFunc([]string{"price"}, []rel.Value{rel.Int(999)},
+			func(pre rel.Tuple) { t.Errorf("callback on zero-match delete: %v", pre) })
+		if err != nil || n != 0 {
+			t.Fatalf("zero-match DeleteWhereFunc: n=%d err=%v", n, err)
+		}
+	})
+}

@@ -94,9 +94,20 @@ type Table interface {
 	// DeleteWhere removes every row whose attrs equal vals (delete i-diff
 	// semantics), returning the removal count.
 	DeleteWhere(attrs []string, vals []rel.Value) (int, error)
+	// DeleteWhereFunc is DeleteWhere that additionally invokes fn (when
+	// non-nil) with each removed row's full pre-image, in removal order.
+	// The images come from the delete's own critical section — no extra
+	// probes, so (through Handle) the charge is identical to DeleteWhere's.
+	// fn must not call back into the table. This is how a view's applied
+	// i-diffs become the derived modification log a cascaded view consumes.
+	DeleteWhereFunc(attrs []string, vals []rel.Value, fn func(pre rel.Tuple)) (int, error)
 	// UpdateWhere overwrites setAttrs with setVals on every row whose attrs
 	// equal vals (update i-diff semantics). Key attributes are immutable.
 	UpdateWhere(attrs []string, vals []rel.Value, setAttrs []string, setVals []rel.Value) (int, error)
+	// UpdateWhereFunc is UpdateWhere that additionally invokes fn (when
+	// non-nil) with each updated row's full pre- and post-image, in update
+	// order, under the same no-extra-probe contract as DeleteWhereFunc.
+	UpdateWhereFunc(attrs []string, vals []rel.Value, setAttrs []string, setVals []rel.Value, fn func(pre, post rel.Tuple)) (int, error)
 	// UpdateKey updates the single row with the given primary key.
 	UpdateKey(key []rel.Value, setAttrs []string, setVals []rel.Value) (bool, error)
 

@@ -206,10 +206,33 @@ func (h *Handle) DeleteWhere(attrs []string, vals []rel.Value) (int, error) {
 	return n, nil
 }
 
+// DeleteWhereFunc implements Table. The charge is identical to
+// DeleteWhere's — one index lookup plus one write per removed row — since
+// fn observes pre-images the backend already holds, not extra probes.
+func (h *Handle) DeleteWhereFunc(attrs []string, vals []rel.Value, fn func(pre rel.Tuple)) (int, error) {
+	n, err := h.t.DeleteWhereFunc(attrs, vals, fn)
+	if err != nil {
+		return n, err
+	}
+	h.charge(0, 1, int64(n))
+	return n, nil
+}
+
 // UpdateWhere implements Table, charging one index lookup plus one write
 // per updated row on success.
 func (h *Handle) UpdateWhere(attrs []string, vals []rel.Value, setAttrs []string, setVals []rel.Value) (int, error) {
 	n, err := h.t.UpdateWhere(attrs, vals, setAttrs, setVals)
+	if err != nil {
+		return n, err
+	}
+	h.charge(0, 1, int64(n))
+	return n, nil
+}
+
+// UpdateWhereFunc implements Table; the charge is identical to
+// UpdateWhere's, for the same reason as DeleteWhereFunc.
+func (h *Handle) UpdateWhereFunc(attrs []string, vals []rel.Value, setAttrs []string, setVals []rel.Value, fn func(pre, post rel.Tuple)) (int, error) {
+	n, err := h.t.UpdateWhereFunc(attrs, vals, setAttrs, setVals, fn)
 	if err != nil {
 		return n, err
 	}

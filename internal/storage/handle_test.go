@@ -233,3 +233,51 @@ func TestFromEnv(t *testing.T) {
 		}()
 	}
 }
+
+// TestHandleCaptureOpCharges pins the no-extra-probe contract: the Func
+// variants charge exactly what the plain variants do — image capture rides
+// inside the mutation, never through charged reads — so enabling derived
+// logging for a cascade cannot perturb the gated access counts.
+func TestHandleCaptureOpCharges(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, e Engine) {
+		h, c := countedParts(t, e)
+
+		n, err := h.UpdateWhere([]string{"price"}, []rel.Value{rel.Int(20)},
+			[]string{"price"}, []rel.Value{rel.Int(21)})
+		if err != nil || n != 2 {
+			t.Fatalf("UpdateWhere: n=%d err=%v", n, err)
+		}
+		plain := *c
+		c.Reset()
+		fired := 0
+		n, err = h.UpdateWhereFunc([]string{"price"}, []rel.Value{rel.Int(21)},
+			[]string{"price"}, []rel.Value{rel.Int(22)},
+			func(pre, post rel.Tuple) { fired++ })
+		if err != nil || n != 2 || fired != 2 {
+			t.Fatalf("UpdateWhereFunc: n=%d fired=%d err=%v", n, fired, err)
+		}
+		if *c != plain {
+			t.Errorf("UpdateWhereFunc charged %+v, plain variant %+v", *c, plain)
+		}
+
+		c.Reset()
+		n, err = h.DeleteWhere([]string{"price"}, []rel.Value{rel.Int(10)})
+		if err != nil || n != 1 {
+			t.Fatalf("DeleteWhere: n=%d err=%v", n, err)
+		}
+		plain = *c
+		c.Reset()
+		fired = 0
+		n, err = h.DeleteWhereFunc([]string{"price"}, []rel.Value{rel.Int(22)},
+			func(pre rel.Tuple) { fired++ })
+		if err != nil || n != 2 || fired != 2 {
+			t.Fatalf("DeleteWhereFunc: n=%d fired=%d err=%v", n, fired, err)
+		}
+		// One lookup + a write per row, independent of the row count delta:
+		// scale the plain charge to 2 rows for the comparison.
+		want := rel.CostCounter{IndexLookups: plain.IndexLookups, TupleWrites: plain.TupleWrites * 2, TupleReads: plain.TupleReads * 2}
+		if *c != want {
+			t.Errorf("DeleteWhereFunc charged %+v, want %+v", *c, want)
+		}
+	})
+}

@@ -225,6 +225,21 @@ func (t *shardTable) DeleteWhere(attrs []string, vals []rel.Value) (int, error) 
 	return n, nil
 }
 
+// DeleteWhereFunc implements Table: the shard fan-out of DeleteWhere,
+// threading fn through so each shard reports its removals' pre-images in
+// shard order — matching the order Scan would have returned the rows.
+func (t *shardTable) DeleteWhereFunc(attrs []string, vals []rel.Value, fn func(pre rel.Tuple)) (int, error) {
+	n := 0
+	for _, sh := range t.shards {
+		sn, err := sh.DeleteWhereFunc(attrs, vals, fn)
+		if err != nil {
+			return n, err
+		}
+		n += sn
+	}
+	return n, nil
+}
+
 // UpdateWhere implements Table: fanned out over all shards; update counts
 // sum. Validation errors (key-attribute update, unknown attribute) are
 // schema-determined and reported before any shard mutates.
@@ -232,6 +247,20 @@ func (t *shardTable) UpdateWhere(attrs []string, vals []rel.Value, setAttrs []st
 	n := 0
 	for _, sh := range t.shards {
 		sn, err := sh.UpdateWhere(attrs, vals, setAttrs, setVals)
+		if err != nil {
+			return n, err
+		}
+		n += sn
+	}
+	return n, nil
+}
+
+// UpdateWhereFunc implements Table: the shard fan-out of UpdateWhere,
+// threading fn through in shard order like DeleteWhereFunc.
+func (t *shardTable) UpdateWhereFunc(attrs []string, vals []rel.Value, setAttrs []string, setVals []rel.Value, fn func(pre, post rel.Tuple)) (int, error) {
+	n := 0
+	for _, sh := range t.shards {
+		sn, err := sh.UpdateWhereFunc(attrs, vals, setAttrs, setVals, fn)
 		if err != nil {
 			return n, err
 		}
