@@ -256,6 +256,14 @@ func (d *Database) DerivedLog(view string) []Modification {
 	return d.derived[view]
 }
 
+// ClearDerivedLogs drops every view's derived modification log without
+// touching the base log or any epochs. The IVM system calls it when a
+// maintenance round fails: the base log is kept for retry, but derived
+// logs are intra-round state — regenerated when the retried round
+// re-runs the parent views — so keeping them would feed children
+// duplicated entries.
+func (d *Database) ClearDerivedLogs() { d.clearDerived() }
+
 func (d *Database) clearDerived() {
 	d.derivedMu.Lock()
 	for k := range d.derived {

@@ -338,7 +338,9 @@ func (x *scriptExec) runStep(i int, counter *rel.CostCounter) stepResult {
 			// order is the apply-step chain order whatever the schedule.
 			var mods []db.Modification
 			n, err = inst.ApplyLogged(t, func(m db.Modification) { mods = append(mods, m) })
-			x.d.LogDerived(st.Table, mods)
+			if err == nil {
+				x.d.LogDerived(st.Table, mods)
+			}
 		} else {
 			n, err = inst.Apply(t)
 		}

@@ -425,6 +425,13 @@ func (s *System) MaintainAll() ([]*Report, error) {
 		} else {
 			s.DB.ResetLog()
 		}
+	} else {
+		// Failed round: the base log is kept so the round can be retried,
+		// but the derived logs are intra-round state — the retry re-runs
+		// every parent, regenerating them — so keeping them would feed
+		// children duplicated (or, after a mid-apply failure, partial)
+		// modifications on the next round.
+		s.DB.ClearDerivedLogs()
 	}
 	if s.Hooks.RoundEnd != nil {
 		s.Hooks.RoundEnd()
@@ -481,11 +488,11 @@ func (s *System) PinAllEpochs() {
 // lower level completed), while the views inside one level — independent
 // subtrees by construction — still run concurrently. On failure it
 // reports the erroring view earliest in registration order, with the
-// reports of the views registered before it; same-level views after it
-// may or may not have been maintained, and later levels are skipped (they
-// would consume a broken feed), exactly as consistent as the sequential
-// path's early return leaves them. Log reset and epoch release belong to
-// MaintainAll.
+// maintained (non-nil) reports of the views registered before it; views
+// at or below the failing level may or may not have been maintained, and
+// later levels are skipped (they would consume a broken feed), exactly
+// as consistent as the sequential path's early return leaves them. Log
+// reset and epoch release belong to MaintainAll.
 func (s *System) maintainAllParallel() ([]*Report, error) {
 	n := len(s.order)
 	reports := make([]*Report, n)
@@ -522,15 +529,30 @@ func (s *System) maintainAllParallel() ([]*Report, error) {
 	for i := range shards {
 		s.DB.MergeCounter(shards[i])
 	}
-	var out []*Report
-	for i := range reports {
+	// Registration order does not imply level order: a level-0 view may
+	// register after a level-1 view, so a nil report (skipped level) can
+	// precede the failing view in registration order. Locate the earliest
+	// non-nil error first — walking reports and stopping at the first nil
+	// would hide an error registered past a skipped view and let the
+	// round commit as if it had succeeded.
+	errIdx := -1
+	for i := range errs {
 		if errs[i] != nil {
-			return out, errs[i]
+			errIdx = i
+			break
 		}
-		if reports[i] == nil {
-			break // a level skipped after a failure; the error precedes it
+	}
+	var out []*Report
+	for i, r := range reports {
+		if errIdx >= 0 && i >= errIdx {
+			break
 		}
-		out = append(out, reports[i])
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	if errIdx >= 0 {
+		return out, errs[errIdx]
 	}
 	return out, nil
 }

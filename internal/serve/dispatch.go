@@ -203,7 +203,8 @@ func (s *Server) dispatch() {
 			// commit the final batch. No enqueue can race past this:
 			// admission holds closeMu.RLock, and quit closes only after
 			// Close held the write lock. Subscription channels close last,
-			// after the final round's deltas were delivered.
+			// after the final round's deltas were offered (with quit
+			// closed, publish delivers best-effort — see subscribe.go).
 			batch = drain(s.opCh, batch)
 			commit()
 			s.closeSubs()

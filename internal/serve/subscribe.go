@@ -12,7 +12,10 @@
 // dropping or reordering deltas). Close a subscription to release the
 // dispatcher: it drops the subscription and closes the channel at the
 // next publication (or at server Close), so a receiver ranging over C()
-// drains any buffered deltas and then terminates.
+// drains any buffered deltas and then terminates. Server.Close is the
+// other release: once teardown begins, delivery degrades to best-effort
+// (a delta that doesn't fit a full buffer is dropped), so an abandoned
+// subscription can never wedge shutdown.
 
 package serve
 
@@ -110,10 +113,26 @@ func (s *Server) publish(reports []*ivm.Report) {
 			continue
 		default:
 		}
+		d := Delta{Round: s.roundSeq, View: sub.view, Diffs: byView[sub.view]}
 		select {
-		case sub.ch <- Delta{Round: s.roundSeq, View: sub.view, Diffs: byView[sub.view]}:
+		case sub.ch <- d:
 		case <-sub.done:
 			s.dropSub(sub)
+		case <-s.quit:
+			// Server teardown: backpressure must not outlive the server. An
+			// abandoned subscription — full buffer, never received on, never
+			// Closed — would otherwise wedge the dispatcher here and make
+			// Server.Close hang forever on <-s.done. Once quit fires,
+			// delivery degrades to best-effort: take the slot if one is
+			// free, drop the delta otherwise; closeSubs closes the channel
+			// right after the final commit, so a live receiver still drains
+			// whatever fit in the buffer.
+			select {
+			case sub.ch <- d:
+			case <-sub.done:
+				s.dropSub(sub)
+			default:
+			}
 		}
 	}
 }

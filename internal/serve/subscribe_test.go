@@ -212,6 +212,65 @@ func TestSubscribeCloseDrains(t *testing.T) {
 	}
 }
 
+// TestServerCloseUnblocksAbandonedSubscriber: a consumer that stops
+// receiving without ever calling Subscription.Close must not wedge
+// teardown. Round 2's publish blocks on the full 1-slot buffer;
+// Server.Close has to break the backpressure loop (delivery degrades to
+// best-effort once quit fires), resolve the in-flight writes, and still
+// close the channel so the buffered delta drains.
+func TestServerCloseUnblocksAbandonedSubscriber(t *testing.T) {
+	s := newServed(t, engines[0].mk, flushOpts)
+	sub, err := s.srv.Subscribe(testView, 1)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	updateBatch(t, s, 5, 1) // round 1 fills the 1-slot buffer
+
+	done := make(chan struct{})
+	//ivmlint:allow gostmt — test writer goroutine blocked by backpressure
+	go func() {
+		defer close(done)
+		p := s.srv.EnqueueUpdate("parts", []rel.Value{rel.Int(0)},
+			[]string{"price"}, []rel.Value{rel.Int(2)})
+		if err := s.srv.Flush(); err != nil {
+			t.Errorf("Flush: %v", err)
+		}
+		if err := p.Wait(); err != nil {
+			t.Errorf("blocked write resolved with %v after Close", err)
+		}
+	}()
+	select {
+	case <-done:
+		t.Fatal("round 2 committed past a full subscriber buffer")
+	case <-time.After(100 * time.Millisecond):
+		// The dispatcher is wedged in publish and the subscriber is never
+		// going to receive or unsubscribe.
+	}
+
+	closed := make(chan error, 1)
+	//ivmlint:allow gostmt — watchdog so a teardown deadlock fails the test
+	go func() { closed <- s.srv.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked on the abandoned subscription")
+	}
+	<-done
+
+	// The round-1 delta is still buffered (round 2's was dropped at
+	// teardown); the channel is closed so the range terminates.
+	var rounds []int64
+	for d := range sub.C() {
+		rounds = append(rounds, d.Round)
+	}
+	if len(rounds) != 1 || rounds[0] != 1 {
+		t.Fatalf("drained rounds %v, want [1]", rounds)
+	}
+}
+
 // TestSubscribeServerClose: server teardown closes every subscription
 // channel after the final commit's deltas were delivered.
 func TestSubscribeServerClose(t *testing.T) {
