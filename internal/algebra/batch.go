@@ -586,10 +586,16 @@ func (c *cJoin) runBatch(env Env, bs int) (*rel.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := c.prepareHeavyBatch(env, t, left, true); err != nil {
+			return nil, err
+		}
 		return c.probeBatch(t, left, true, opWorkers(env))
 	case joinProbeLeft:
 		t, err := c.probe.resolve(env)
 		if err != nil {
+			return nil, err
+		}
+		if err := c.prepareHeavyBatch(env, t, right, false); err != nil {
 			return nil, err
 		}
 		return c.probeBatch(t, right, false, opWorkers(env))
@@ -638,9 +644,12 @@ func (c *cJoin) probeBatchRange(t *storage.Handle, driving *rel.Batch, drivingLe
 		if null {
 			continue
 		}
-		rows, err := pr.lookup(t)
-		if err != nil {
-			return nil, nil, err
+		rows, cached := c.heavyLookup(pr)
+		if !cached {
+			var err error
+			if rows, err = pr.lookup(t); err != nil {
+				return nil, nil, err
+			}
 		}
 		if len(rows) == 0 {
 			continue

@@ -445,6 +445,13 @@ type cJoin struct {
 	sch        rel.Schema
 	lw, rw     int // child widths, for output tuple layout
 	keyBuf     []byte
+
+	// heavy is the per-round heavy-lane cache (skew.go): probe results for
+	// driving keys whose stored-side frequency crossed the SkewThreshold.
+	// Rebuilt by prepareHeavy/prepareHeavyBatch before each probe round;
+	// nil whenever the heavy lane is off. Read-only once the probe loops
+	// (including parallel workers) start.
+	heavy map[string][]rel.Tuple
 }
 
 func compileJoin(j *Join) (cNode, error) {
@@ -566,6 +573,9 @@ func (c *cJoin) run(env Env) (*rel.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := c.prepareHeavy(env, t, left.Tuples, true); err != nil {
+			return nil, err
+		}
 		if w := opWorkers(env); w > 1 && len(left.Tuples) >= MinOpRows {
 			return c.probeParallel(t, left.Tuples, true, w)
 		}
@@ -576,9 +586,11 @@ func (c *cJoin) run(env Env) (*rel.Relation, error) {
 			if hasNull(c.probe.valsBuf[:c.probe.nJoin]) {
 				continue
 			}
-			rows, err := c.probe.lookup(t)
-			if err != nil {
-				return nil, err
+			rows, cached := c.heavyLookup(c.probe)
+			if !cached {
+				if rows, err = c.probe.lookup(t); err != nil {
+					return nil, err
+				}
 			}
 			for _, rt := range rows {
 				if c.residual == nil || c.residual.EvalBool(lt, rt) {
@@ -592,6 +604,9 @@ func (c *cJoin) run(env Env) (*rel.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := c.prepareHeavy(env, t, right.Tuples, false); err != nil {
+			return nil, err
+		}
 		if w := opWorkers(env); w > 1 && len(right.Tuples) >= MinOpRows {
 			return c.probeParallel(t, right.Tuples, false, w)
 		}
@@ -602,9 +617,11 @@ func (c *cJoin) run(env Env) (*rel.Relation, error) {
 			if hasNull(c.probe.valsBuf[:c.probe.nJoin]) {
 				continue
 			}
-			rows, err := c.probe.lookup(t)
-			if err != nil {
-				return nil, err
+			rows, cached := c.heavyLookup(c.probe)
+			if !cached {
+				if rows, err = c.probe.lookup(t); err != nil {
+					return nil, err
+				}
 			}
 			for _, lt := range rows {
 				if c.residual == nil || c.residual.EvalBool(lt, rt) {

@@ -142,10 +142,13 @@ func (c *cJoin) probeParallel(t *storage.Handle, driving []rel.Tuple, drivingLef
 			if hasNull(pr.valsBuf[:pr.nJoin]) {
 				continue
 			}
-			rows, err := pr.lookup(th)
-			if err != nil {
-				errs[i] = err
-				return
+			rows, cached := c.heavyLookup(pr)
+			if !cached {
+				var err error
+				if rows, err = pr.lookup(th); err != nil {
+					errs[i] = err
+					return
+				}
 			}
 			for _, mt := range rows {
 				lt, rt := dt, mt

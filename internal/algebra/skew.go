@@ -1,0 +1,188 @@
+// Skew-adaptive probe execution: the heavy/light partitioning of the
+// compiled probe-join strategies (Abo-Khamis et al.'s heavy-light lever,
+// adapted to the paper's access-count model). When the environment opts in
+// via SkewEnv with a positive threshold, a probe join consults the
+// storage layer's uncharged key-frequency statistics (Table.HeavyKeys)
+// before the probe loop runs and splits the driving rows into two lanes:
+//
+//   - heavy lane — driving keys whose stored-side frequency reaches the
+//     threshold. A sequential pre-pass probes each distinct heavy key
+//     exactly once, on the step's main counter, and caches the (residual-
+//     filtered, copied) match set; every further driving row carrying the
+//     same celebrity key reuses the cache instead of re-reading the full
+//     match set through the index.
+//   - light lane — everything else keeps the existing index-pushdown
+//     probe, one charged lookup per driving row.
+//
+// The cache returns exactly what the lookup would have returned, so the
+// output relation (rows and order) is byte-identical to the single-
+// strategy plan; only the access counters drop, by (m-1)·(1+matches) per
+// heavy key appearing m times in the round's diff. Because the pre-pass
+// runs sequentially before any worker fans out and the cache is read-only
+// afterwards, the charge totals are byte-identical across {sequential,
+// OpWorkers, BatchSize} execution strategies — the skew-axis differential
+// matrix in internal/ivm pins this under -race. A threshold of 0 (the
+// default) disables the machinery entirely: not one statistics call is
+// made and the plan behaves exactly as before.
+
+package algebra
+
+import (
+	"idivm/internal/rel"
+	"idivm/internal/storage"
+)
+
+// SkewEnv is the optional extension of Env through which an executor
+// grants compiled probe joins skew-adaptive heavy/light partitioning.
+// Plans Run against a plain Env stay single-strategy; the Δ-script
+// executor implements it and returns its ExecOptions.SkewThreshold.
+//
+// Unlike OpWorkers and BatchSize — which never move a counter — a
+// positive SkewThreshold deliberately changes access counts: repeated
+// probes of a heavy key collapse into one. It must stay invariant across
+// execution strategies and storage engines, not across thresholds.
+type SkewEnv interface {
+	Env
+	// SkewThreshold returns the stored-side key frequency at and above
+	// which a probe key is treated as heavy; values below 1 disable the
+	// heavy lane.
+	SkewThreshold() int
+}
+
+// skewThreshold extracts the heavy-key threshold from an environment
+// (0 — disabled — unless env opts in via SkewEnv).
+func skewThreshold(env Env) int {
+	if se, ok := env.(SkewEnv); ok {
+		if t := se.SkewThreshold(); t > 0 {
+			return t
+		}
+	}
+	return 0
+}
+
+// heavyLookup consults the join's heavy-lane cache for the probe key
+// currently in pr.valsBuf. ok=false means the key is light (or the heavy
+// lane is off) and the caller must run the charged probe. The returned
+// rows are shared read-only cache state: callers must not mutate them
+// (they don't — probe results are only read and copied into outputs).
+func (c *cJoin) heavyLookup(pr *cProbe) ([]rel.Tuple, bool) {
+	if c.heavy == nil {
+		return nil, false
+	}
+	pr.keyBuf = rel.AppendTupleKey(pr.keyBuf[:0], pr.valsBuf)
+	rows, ok := c.heavy[string(pr.keyBuf)]
+	return rows, ok
+}
+
+// prepareHeavy builds the heavy-lane cache for a probe-join round over
+// tuple-mode driving rows. It resets any cache left from a previous run,
+// reads the stored side's heavy-key statistics (uncharged), and probes
+// each distinct heavy key present in the driving rows exactly once, in
+// first-appearance order, on the step's main counter — the only charged
+// accesses the heavy lane performs this round.
+func (c *cJoin) prepareHeavy(env Env, t *storage.Handle, driving []rel.Tuple, drivingLeft bool) error {
+	c.heavy = nil
+	thresh := skewThreshold(env)
+	if thresh <= 0 || len(driving) == 0 {
+		return nil
+	}
+	heavy, err := t.HeavyKeys(c.probe.st, c.probe.prep.Attrs(), thresh)
+	if err != nil || len(heavy) == 0 {
+		return err
+	}
+	set := make(map[string]struct{}, len(heavy))
+	for _, k := range heavy {
+		set[k.Key] = struct{}{}
+	}
+	idx := c.lidx
+	if !drivingLeft {
+		idx = c.ridx
+	}
+	pr := c.probe
+	var cache map[string][]rel.Tuple
+	var buf []byte
+	for _, dt := range driving {
+		for i, x := range idx {
+			pr.valsBuf[i] = dt[x]
+		}
+		if hasNull(pr.valsBuf[:pr.nJoin]) {
+			continue
+		}
+		buf = rel.AppendTupleKey(buf[:0], pr.valsBuf)
+		if _, isHeavy := set[string(buf)]; !isHeavy {
+			continue
+		}
+		if _, done := cache[string(buf)]; done {
+			continue
+		}
+		rows, err := pr.lookup(t)
+		if err != nil {
+			return err
+		}
+		if cache == nil {
+			cache = make(map[string][]rel.Tuple)
+		}
+		// pr.lookup returns probe scratch; the cache outlives the next call.
+		cache[string(buf)] = append([]rel.Tuple(nil), rows...)
+	}
+	c.heavy = cache
+	return nil
+}
+
+// prepareHeavyBatch is prepareHeavy over a columnar driving side: same
+// statistics read, same one-probe-per-distinct-heavy-key pre-pass, with
+// the probe values gathered from column vectors.
+func (c *cJoin) prepareHeavyBatch(env Env, t *storage.Handle, driving *rel.Batch, drivingLeft bool) error {
+	c.heavy = nil
+	thresh := skewThreshold(env)
+	if thresh <= 0 || driving.Len() == 0 {
+		return nil
+	}
+	heavy, err := t.HeavyKeys(c.probe.st, c.probe.prep.Attrs(), thresh)
+	if err != nil || len(heavy) == 0 {
+		return err
+	}
+	set := make(map[string]struct{}, len(heavy))
+	for _, k := range heavy {
+		set[k.Key] = struct{}{}
+	}
+	idx := c.lidx
+	if !drivingLeft {
+		idx = c.ridx
+	}
+	pr := c.probe
+	var cache map[string][]rel.Tuple
+	var buf []byte
+	n := driving.Len()
+	for i := 0; i < n; i++ {
+		null := false
+		for k, x := range idx {
+			v := driving.Cols[x].Value(i)
+			if v.IsNull() {
+				null = true
+				break
+			}
+			pr.valsBuf[k] = v
+		}
+		if null {
+			continue
+		}
+		buf = rel.AppendTupleKey(buf[:0], pr.valsBuf)
+		if _, isHeavy := set[string(buf)]; !isHeavy {
+			continue
+		}
+		if _, done := cache[string(buf)]; done {
+			continue
+		}
+		rows, err := pr.lookup(t)
+		if err != nil {
+			return err
+		}
+		if cache == nil {
+			cache = make(map[string][]rel.Tuple)
+		}
+		cache[string(buf)] = append([]rel.Tuple(nil), rows...)
+	}
+	c.heavy = cache
+	return nil
+}

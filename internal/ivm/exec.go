@@ -91,6 +91,16 @@ type ExecOptions struct {
 	// allocs/op — results, reports and access counters are identical —
 	// and the interpreted path ignores it.
 	BatchSize int
+	// SkewThreshold > 0 enables skew-adaptive heavy/light probe joins in
+	// compiled compute steps: driving keys whose stored-side frequency
+	// reaches the threshold are probed once per round and served from a
+	// per-key cache afterwards. Unlike OpWorkers and BatchSize this
+	// deliberately CHANGES access counts (repeat probes of a heavy key
+	// collapse into one) — results stay identical, and for a fixed
+	// threshold the counters stay byte-identical across engines and
+	// execution strategies. 0 (the default) keeps the single-strategy
+	// plans; the interpreted path ignores it.
+	SkewThreshold int
 }
 
 // scriptExec is the shared state of one script execution: the database,
@@ -103,6 +113,7 @@ type scriptExec struct {
 	interpret bool
 	opWorkers int
 	batchSize int
+	skewThr   int
 	// logDerived records the view's applies into the database's derived
 	// modification log — set when the view is a cascade source (some other
 	// registered view scans it).
@@ -158,8 +169,14 @@ func (e *stepEnv) OpWorkers() int { return e.x.opWorkers }
 // step's compiled plan to columnar batch execution.
 func (e *stepEnv) BatchSize() int { return e.x.batchSize }
 
+// SkewThreshold implements algebra.SkewEnv: a positive threshold lets this
+// step's compiled probe joins split their driving keys into heavy and
+// light lanes against the storage layer's key-frequency statistics.
+func (e *stepEnv) SkewThreshold() int { return e.x.skewThr }
+
 var _ algebra.OpParallelEnv = (*stepEnv)(nil)
 var _ algebra.BatchEnv = (*stepEnv)(nil)
+var _ algebra.SkewEnv = (*stepEnv)(nil)
 
 // RunScript executes a Δ-script against the database: base diff instances
 // are passed as bindings keyed by BaseBindName; the script's compute steps
@@ -192,6 +209,7 @@ func runScript(d *db.Database, s *Script, bindings map[string]*rel.Relation, ver
 		root = d.Counter()
 	}
 	x := &scriptExec{d: d, s: s, interpret: opts.Interpret, opWorkers: opts.OpWorkers, batchSize: opts.BatchSize,
+		skewThr:    opts.SkewThreshold,
 		logDerived: d.DerivedLoggingEnabled(s.View), bind: make(map[string]*rel.Relation, len(bindings)+8)}
 	for k, v := range bindings { //ivmlint:allow maprange — map-to-map copy, order-free
 		x.bind[k] = v

@@ -49,8 +49,74 @@ func (g *gen) groupRules(op *algebra.GroupBy, ins []decl, input inputFn, output 
 	if incremental {
 		return g.groupIncremental(op, ins, input, output, ph)
 	}
+	if g.minMaxCacheable(op) {
+		return g.groupMinMaxCached(op, ins, input, output, ph)
+	}
 	g.flushPending()
 	return g.groupRecompute(op, ins, input, output)
+}
+
+// minMaxCacheable reports whether the ordered-multiset cache path applies:
+// every aggregate is a MIN/MAX with an argument and caches are enabled.
+// Updates that move tuples across groups need no special case here —
+// affectedGroupKeys collects both group images and the affected groups are
+// recomputed from the cache's exact post-state.
+func (g *gen) minMaxCacheable(op *algebra.GroupBy) bool {
+	if g.tupleMode || g.opts.NoCache || len(op.Aggs) == 0 {
+		return false
+	}
+	for _, a := range op.Aggs {
+		if (a.Fn != algebra.AggMin && a.Fn != algebra.AggMax) || a.Arg == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// minMaxMultCol is the multiplicity column of the ordered-multiset cache.
+const minMaxMultCol = "#mult"
+
+// groupMinMaxCached implements the ordered-multiset path for MIN/MAX: the
+// operator keeps a cache C = γ_{Ḡ ∪ v̄}(COUNT(*)) of the distinct
+// (group, argument) combinations with their multiplicities. MIN/MAX are
+// duplicate-insensitive, so recomputing an affected group from C is exact
+// and touches one row per distinct value instead of one per input tuple —
+// a delete of the current minimum no longer rescans the whole group. The
+// cache itself is COUNT-maintained by recursing into the group rules: the
+// incremental path (Table 11) updates multiplicities in place, and an
+// update that moves argument values lands on the recompute path of the
+// synthetic γ, still exact.
+func (g *gen) groupMinMaxCached(op *algebra.GroupBy, ins []decl, input inputFn, output inputFn, ph Phase) ([]decl, error) {
+	keys := op.Keys
+	vcols := []string{}
+	for _, a := range op.Aggs {
+		vcols = rel.Union(vcols, a.Arg.Cols())
+	}
+	cacheKeys := rel.Union(append([]string(nil), keys...), vcols)
+
+	cacheName := g.freshCache()
+	cachePlan := algebra.NewGroupBy(input(rel.StatePost), cacheKeys,
+		[]algebra.Agg{{Fn: algebra.AggCount, As: minMaxMultCol}})
+	cacheSchema := cachePlan.Schema()
+	g.caches = append(g.caches, CacheDef{Name: cacheName, Plan: cachePlan})
+
+	// Maintain C through the same diffs the operator consumes. The
+	// recursion cannot loop: COUNT(*) is never min/max-cacheable.
+	cacheDecls, err := g.groupRules(cachePlan, ins, input, storedInput(cacheName, cacheSchema), ph)
+	if err != nil {
+		return nil, err
+	}
+	g.emit(cacheName, cacheDecls, ph, PhaseCacheUpdate)
+
+	// Affected groups recompute from C's post-state — the emit above
+	// ordered C's applies before the view steps this returns into.
+	ak := affectedGroupKeys(op, ins, input)
+	rec := algebra.NewGroupBy(
+		algebra.NewSemiJoin(
+			algebra.NewStoredRef(cacheName, cacheSchema, rel.StatePost),
+			renameAll(ak, "@k"), idEq(keys, "@k")),
+		keys, op.Aggs)
+	return classifyRecomputed(op, ak, rec, output)
 }
 
 // kappaCol names the i-th input-tuple ID column carried by contribution
@@ -499,13 +565,23 @@ func (g *gen) maintainAvgCache(op *algebra.GroupBy, cdRenamed func() algebra.Nod
 // inserts (new groups) and deletes (vanished groups).
 func (g *gen) groupRecompute(op *algebra.GroupBy, ins []decl, input inputFn, output inputFn) ([]decl, error) {
 	keys := op.Keys
-	outSchema := op.Schema()
-	var aggCols []string
-	for _, a := range op.Aggs {
-		aggCols = append(aggCols, a.As)
-	}
 
 	// 1. Affected group keys from every diff (pre and post images).
+	ak := affectedGroupKeys(op, ins, input)
+
+	// 2. Recompute the affected groups from the input's post-state.
+	rec := algebra.NewGroupBy(
+		algebra.NewSemiJoin(input(rel.StatePost), renameAll(ak, "@k"), idEq(keys, "@k")),
+		keys, op.Aggs)
+
+	return classifyRecomputed(op, ak, rec, output)
+}
+
+// affectedGroupKeys builds the deduplicated union of every group key some
+// diff touches, reading pre and post images as the diff kind requires
+// (step 1 of the general aggregation rule, Table 7).
+func affectedGroupKeys(op *algebra.GroupBy, ins []decl, input inputFn) algebra.Node {
+	keys := op.Keys
 	var keyPlans []algebra.Node
 	addKeys := func(in decl, st rel.State) {
 		ds := in.schema
@@ -540,13 +616,20 @@ func (g *gen) groupRecompute(op *algebra.GroupBy, ins []decl, input inputFn, out
 			}
 		}
 	}
-	ak := dedupKeys(unionPlans(keyPlans), keys)
+	return dedupKeys(unionPlans(keyPlans), keys)
+}
 
-	// 2. Recompute the affected groups from the input's post-state.
-	rec := algebra.NewGroupBy(
-		algebra.NewSemiJoin(input(rel.StatePost), renameAll(ak, "@k"), idEq(keys, "@k")),
-		keys, op.Aggs)
-
+// classifyRecomputed classifies recomputed affected groups against the
+// operator's Output into updates, inserts and deletes — steps 3–5 of the
+// general aggregation rule, shared by the recompute and min/max-cache
+// paths (they differ only in where rec reads the group's tuples from).
+func classifyRecomputed(op *algebra.GroupBy, ak, rec algebra.Node, output inputFn) ([]decl, error) {
+	keys := op.Keys
+	outSchema := op.Schema()
+	var aggCols []string
+	for _, a := range op.Aggs {
+		aggCols = append(aggCols, a.As)
+	}
 	outPre := renamedInput(output, rel.StatePre, "@o")
 
 	var outs []decl

@@ -107,6 +107,11 @@ type System struct {
 	// BatchSize > 0 runs every compiled compute step through the columnar
 	// batch kernels; see ExecOptions.BatchSize.
 	BatchSize int
+	// SkewThreshold > 0 enables skew-adaptive heavy/light probe joins in
+	// every compiled compute step; see ExecOptions.SkewThreshold. Unlike
+	// OpWorkers/BatchSize this changes access counts (that is the point);
+	// 0 keeps the single-strategy plans.
+	SkewThreshold int
 	// PinEpochs keeps every view, cache and logged base table in a
 	// permanent maintenance epoch: MaintainAll pins any not yet pinned at
 	// round start and, at round end, atomically advances each snapshot to
@@ -329,7 +334,7 @@ func (s *System) GenerateInstances(v *View) (map[string]*rel.Relation, int, erro
 // you): a child's diff feed is whatever its sources' derived logs hold.
 func (s *System) Maintain(name string) (*Report, error) {
 	s.beginCascadeEpochs()
-	return s.maintain(name, ExecOptions{Workers: s.Workers, Interpret: s.Interpret, OpWorkers: s.OpWorkers, BatchSize: s.BatchSize})
+	return s.maintain(name, ExecOptions{Workers: s.Workers, Interpret: s.Interpret, OpWorkers: s.OpWorkers, BatchSize: s.BatchSize, SkewThreshold: s.SkewThreshold})
 }
 
 // beginCascadeEpochs opens a maintenance epoch on every derived-logged
@@ -514,7 +519,7 @@ func (s *System) maintainAllParallel() ([]*Report, error) {
 		}
 		parallelFor(s.Workers, len(idxs), func(k int) {
 			i := idxs[k]
-			reports[i], errs[i] = s.maintain(s.order[i], ExecOptions{Workers: s.Workers, Counter: &shards[i], Interpret: s.Interpret, OpWorkers: s.OpWorkers, BatchSize: s.BatchSize})
+			reports[i], errs[i] = s.maintain(s.order[i], ExecOptions{Workers: s.Workers, Counter: &shards[i], Interpret: s.Interpret, OpWorkers: s.OpWorkers, BatchSize: s.BatchSize, SkewThreshold: s.SkewThreshold})
 		})
 		failed := false
 		for _, i := range idxs {

@@ -2,6 +2,7 @@ package rel
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -269,6 +270,67 @@ func (t *Table) IndexCard(s State, attrs []string, vals []Value) (p, n int, err 
 	}
 	rows, _ := t.core.stateRows(s)
 	return len(idx.get(vals)), len(rows), nil
+}
+
+// KeyCount is one entry of a key-frequency statistic: a distinct value
+// combination of an indexed attribute set together with how many rows of
+// the inspected state carry it. Key is the canonical tuple-key encoding of
+// Vals (the same encoding AppendTupleKey produces for a probe over the
+// same attribute order), so planners can test probe keys against a heavy
+// set without re-encoding.
+type KeyCount struct {
+	Key   string
+	Vals  Tuple
+	Count int
+}
+
+// KeyFreq reports how many rows of the requested state match vals on the
+// secondary index over attrs — catalog metadata like IndexCard, but
+// without the total row count. The statistic rides the incrementally
+// maintained secondary indexes, so it is exact at every epoch boundary
+// and costs one hash probe.
+func (t *Table) KeyFreq(s State, attrs []string, vals []Value) (int, error) {
+	t.core.mu.RLock()
+	defer t.core.mu.RUnlock()
+	idx, err := t.core.indexOn(s, attrs)
+	if err != nil {
+		return 0, err
+	}
+	return len(idx.get(vals)), nil
+}
+
+// HeavyKeys reports every distinct value combination over attrs whose
+// frequency in the requested state is at least threshold, sorted by the
+// canonical key encoding. A threshold below 1 is treated as 1. Like
+// IndexCard, this is uncharged catalog metadata: the frequencies are the
+// bucket sizes of the incrementally maintained secondary index, so the
+// call reads statistics, not tuples.
+func (t *Table) HeavyKeys(s State, attrs []string, threshold int) ([]KeyCount, error) {
+	if threshold < 1 {
+		threshold = 1
+	}
+	t.core.mu.RLock()
+	defer t.core.mu.RUnlock()
+	idx, err := t.core.indexOn(s, attrs)
+	if err != nil {
+		return nil, err
+	}
+	rows, _ := t.core.stateRows(s)
+	var out []KeyCount
+	// Map order is fine here: results are sorted by encoded key below.
+	for k, b := range idx.buckets {
+		if len(b) < threshold {
+			continue
+		}
+		rep := rows[b[0]]
+		vals := make(Tuple, len(idx.attrIdx))
+		for i, j := range idx.attrIdx {
+			vals[i] = rep[j]
+		}
+		out = append(out, KeyCount{Key: k, Vals: vals, Count: len(b)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
 }
 
 // Insert adds a row, failing on a primary-key conflict.

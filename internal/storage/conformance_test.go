@@ -346,6 +346,155 @@ func TestConformanceRandomizedDifferential(t *testing.T) {
 	}
 }
 
+// TestConformanceKeyStats pins the key-frequency statistics contract the
+// skew-adaptive planner builds on: KeyFreq is the exact global bucket
+// size, HeavyKeys returns exactly the keys at or above the threshold in
+// deterministic (encoded-key) order with exact global counts, both hold
+// for pre and post state under an epoch, and every backend agrees with
+// the mem engine. Partitioned backends must not under-count a key whose
+// per-shard buckets are individually below the threshold.
+func TestConformanceKeyStats(t *testing.T) {
+	type run struct {
+		name string
+		h    *Handle
+		c    *rel.CostCounter
+	}
+	eng := engines()
+	order := []string{"mem", "sharded-1", "sharded-3", "sharded-8"}
+	schema := rel.NewSchema([]string{"k", "grp", "v"}, []string{"k"})
+	runs := make([]run, 0, len(order))
+	for _, name := range order {
+		tab, err := eng[name].Create("t", schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := new(rel.CostCounter)
+		h := NewHandle(tab)
+		h.SetCounter(c)
+		runs = append(runs, run{name: name, h: h, c: c})
+	}
+
+	// Group g gets g+1 rows (g = 0..7): every threshold in 1..8 slices the
+	// heavy set differently. Spread keys so sharding scatters each group
+	// across shards and the per-shard candidate floor is exercised.
+	rows := 0
+	for g := 0; g < 8; g++ {
+		for i := 0; i <= g; i++ {
+			row := rel.Tuple{rel.Int(int64(rows)), rel.Int(int64(g)), rel.Int(int64(rows % 3))}
+			rows++
+			for _, r := range runs {
+				if err := r.h.Insert(row); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	statsEqual := func(t *testing.T, stage string) {
+		t.Helper()
+		for _, st := range []rel.State{rel.StatePre, rel.StatePost} {
+			for g := 0; g < 9; g++ {
+				ref, refErr := runs[0].h.KeyFreq(st, []string{"grp"}, []rel.Value{rel.Int(int64(g))})
+				for _, r := range runs[1:] {
+					got, err := r.h.KeyFreq(st, []string{"grp"}, []rel.Value{rel.Int(int64(g))})
+					if got != ref || (err == nil) != (refErr == nil) {
+						t.Fatalf("%s: %s KeyFreq(%v, grp=%d) = %d/%v, mem %d/%v",
+							stage, r.name, st, g, got, err, ref, refErr)
+					}
+				}
+			}
+			for thresh := 1; thresh <= 9; thresh++ {
+				ref, refErr := runs[0].h.HeavyKeys(st, []string{"grp"}, thresh)
+				for _, r := range runs[1:] {
+					got, err := r.h.HeavyKeys(st, []string{"grp"}, thresh)
+					if (err == nil) != (refErr == nil) || fmt.Sprint(got) != fmt.Sprint(ref) {
+						t.Fatalf("%s: %s HeavyKeys(%v, grp, %d) = %v/%v, mem %v/%v",
+							stage, r.name, st, thresh, got, err, ref, refErr)
+					}
+				}
+				// Cross-check the mem reference against brute-force KeyFreq.
+				for _, kc := range ref {
+					n, err := runs[0].h.KeyFreq(st, []string{"grp"}, kc.Vals)
+					if err != nil || n != kc.Count || n < thresh {
+						t.Fatalf("%s: heavy key %v count %d, KeyFreq %d/%v, threshold %d",
+							stage, kc.Vals, kc.Count, n, err, thresh)
+					}
+				}
+			}
+		}
+	}
+
+	for _, r := range runs {
+		*r.c = rel.CostCounter{}
+	}
+	statsEqual(t, "loaded")
+	// Freq 8 exists only for group 7; freq 9 nowhere.
+	if n, err := runs[0].h.KeyFreq(rel.StatePost, []string{"grp"}, []rel.Value{rel.Int(7)}); err != nil || n != 8 {
+		t.Fatalf("KeyFreq(grp=7) = %d/%v, want 8", n, err)
+	}
+	heavy, err := runs[0].h.HeavyKeys(rel.StatePost, []string{"grp"}, 5)
+	if err != nil || len(heavy) != 4 {
+		t.Fatalf("HeavyKeys(5) = %v/%v, want the 4 groups with >= 5 rows", heavy, err)
+	}
+	if hk, err := runs[0].h.HeavyKeys(rel.StatePost, []string{"grp"}, 9); err != nil || len(hk) != 0 {
+		t.Fatalf("HeavyKeys(9) = %v/%v, want empty", hk, err)
+	}
+	// Stats are uncharged — the catalog reads above must not move counters.
+	for _, r := range runs {
+		if *r.c != (rel.CostCounter{}) {
+			t.Fatalf("%s: stats reads charged %v", r.name, *r.c)
+		}
+	}
+
+	// Epoch coherence: mutate inside an epoch; pre-state stats stay frozen
+	// while post-state stats track the mutations, on every backend.
+	for _, r := range runs {
+		r.h.BeginEpoch()
+		// Group 0 gains two rows (1 -> 3); group 7 loses one (8 -> 7).
+		if err := r.h.Insert(rel.Tuple{rel.Int(100), rel.Int(0), rel.Int(0)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.h.Insert(rel.Tuple{rel.Int(101), rel.Int(0), rel.Int(0)}); err != nil {
+			t.Fatal(err)
+		}
+		if n, err := r.h.DeleteWhere([]string{"k"}, []rel.Value{rel.Int(35)}); err != nil || n != 1 {
+			t.Fatalf("%s: epoch delete n=%d err=%v", r.name, n, err)
+		}
+		// Group 3's rows move to group 8 (4 -> 0 and 0 -> 4).
+		if n, err := r.h.UpdateWhere([]string{"grp"}, []rel.Value{rel.Int(3)},
+			[]string{"grp"}, []rel.Value{rel.Int(8)}); err != nil || n != 4 {
+			t.Fatalf("%s: epoch update n=%d err=%v", r.name, n, err)
+		}
+	}
+	statsEqual(t, "in-epoch")
+	if n, err := runs[0].h.KeyFreq(rel.StatePre, []string{"grp"}, []rel.Value{rel.Int(0)}); err != nil || n != 1 {
+		t.Fatalf("pre KeyFreq(grp=0) = %d/%v, want frozen 1", n, err)
+	}
+	if n, err := runs[0].h.KeyFreq(rel.StatePost, []string{"grp"}, []rel.Value{rel.Int(0)}); err != nil || n != 3 {
+		t.Fatalf("post KeyFreq(grp=0) = %d/%v, want 3", n, err)
+	}
+	if n, err := runs[0].h.KeyFreq(rel.StatePre, []string{"grp"}, []rel.Value{rel.Int(3)}); err != nil || n != 4 {
+		t.Fatalf("pre KeyFreq(grp=3) = %d/%v, want frozen 4", n, err)
+	}
+	if n, err := runs[0].h.KeyFreq(rel.StatePost, []string{"grp"}, []rel.Value{rel.Int(8)}); err != nil || n != 4 {
+		t.Fatalf("post KeyFreq(grp=8) = %d/%v, want 4", n, err)
+	}
+	for _, r := range runs {
+		r.h.EndEpoch()
+	}
+	statsEqual(t, "post-epoch")
+
+	// Unknown attribute errors on every backend.
+	for _, r := range runs {
+		if _, err := r.h.KeyFreq(rel.StatePost, []string{"nope"}, []rel.Value{rel.Int(1)}); err == nil {
+			t.Fatalf("%s: KeyFreq on unknown attr must fail", r.name)
+		}
+		if _, err := r.h.HeavyKeys(rel.StatePost, []string{"nope"}, 2); err == nil {
+			t.Fatalf("%s: HeavyKeys on unknown attr must fail", r.name)
+		}
+	}
+}
+
 // TestConformanceCaptureOps pins the capture-callback contract of
 // DeleteWhereFunc/UpdateWhereFunc: full pre/post images delivered from
 // inside the mutation, matched counts, and nil-fn equivalence with the
